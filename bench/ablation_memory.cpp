@@ -1,0 +1,56 @@
+// Ablation (paper §III-A): the memory discipline of the working fronts.
+// "If the entire assembly tree does not fit in the device memory, then the
+// factorization is split in multiple traversals of subtrees that do fit on
+// the device" — our stacked-levels discipline keeps only two adjacent
+// levels of fronts live and releases each level as soon as its Schur
+// complements are absorbed. This bench reports the peak device memory and
+// the time cost of the extra allocation churn.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fem/mesh.hpp"
+#include "fem/nedelec.hpp"
+#include "sparse/solver.hpp"
+
+using namespace irrlu;
+using namespace irrlu::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int nt = args.get_int("ntheta", args.get_bool("large") ? 40 : 24);
+  const int nc = args.get_int("ncross", args.get_bool("large") ? 12 : 8);
+  const double omega = args.get_double("omega", 16.0);
+
+  const fem::HexMesh mesh = fem::HexMesh::torus(nt, nc, nc);
+  const fem::EdgeSystem sys = fem::assemble_maxwell(
+      mesh, omega, fem::paper_maxwell_load(omega, omega / 1.05));
+  std::printf("front-memory discipline ablation (Maxwell torus, N=%d)\n\n",
+              sys.a.rows());
+
+  TextTable table({"memory mode", "factor (s)", "peak device (MB)",
+                   "retained factors (MB)", "residual"});
+  std::vector<double> b(sys.b.begin(), sys.b.end());
+  for (auto mode : {sparse::MemoryMode::kAllUpfront,
+                    sparse::MemoryMode::kStackedLevels}) {
+    gpusim::Device dev(model_by_name(args.get_string("device", "a100")));
+    sparse::SolverOptions opts;
+    opts.nd.leaf_size = 16;
+    opts.factor.memory = mode;
+    sparse::SparseDirectSolver solver(opts);
+    solver.analyze(sys.a);
+    solver.factor(dev);
+    const auto x = solver.solve(b);
+    table.add_row(sparse::to_string(mode),
+                  TextTable::fmt(solver.numeric().factor_seconds(), 4),
+                  TextTable::fmt(solver.numeric().peak_device_bytes() / 1e6,
+                                 2),
+                  TextTable::fmt(solver.numeric().factor_bytes() / 1e6, 2),
+                  TextTable::sci(solver.residual(x, b)));
+  }
+  table.print();
+  std::printf(
+      "\nthe stacked discipline trades a little allocation latency for a"
+      "\nmuch smaller working set, enabling problems whose assembly tree"
+      "\nexceeds device memory.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation (§IV-E): sensitivity of irrLU-GPU to the panel width nb (the
+// paper suggests 16-32 columns per iteration). Wider panels amortize
+// launches but raise the shared-memory estimate, switching to the slow
+// column-wise path earlier; narrower panels shift work out of GEMM.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+
+using namespace irrlu;
+using namespace irrlu::batch;
+using namespace irrlu::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int batch = args.get_int("batch", 500);
+
+  TextTable table({"N", "nb=8", "nb=16", "nb=32", "nb=64"});
+  std::printf("irrLU panel-width ablation (Gflop/s, A100 model)\n\n");
+  for (int n : {64, 128, 256}) {
+    const auto sizes = paper_batch_sizes(batch, 1, n, 7 + n);
+    const double flops = batch_getrf_flops(sizes);
+    std::vector<std::string> row = {std::to_string(n)};
+    for (int nb : {8, 16, 32, 64}) {
+      gpusim::Device dev(model_by_name(args.get_string("device", "a100")));
+      VBatch<double> A(dev, sizes);
+      Rng rng(3);
+      A.fill_uniform(rng);
+      PivotBatch piv(dev, sizes, sizes);
+      IrrLuOptions opts;
+      opts.nb = nb;
+      dev.reset_timeline();
+      irr_getrf<double>(dev, dev.stream(), n, n, A.ptrs(), A.lda(), 0, 0,
+                        A.m_vec(), A.n_vec(), piv.ptrs(), piv.info(), batch,
+                        opts);
+      const double t = dev.synchronize_all();
+      row.push_back(TextTable::fmt(gflops(flops, t), 1));
+    }
+    table.add_row(row[0], row[1], row[2], row[3], row[4]);
+  }
+  table.print();
+  return 0;
+}

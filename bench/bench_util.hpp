@@ -1,0 +1,57 @@
+// Shared helpers for the paper-reproduction benchmark drivers: device
+// construction, the paper's workload generators, and FLOP-rate reporting.
+//
+// Reported times are *simulated device seconds* from the gpusim cost model
+// (see DESIGN.md §1: the paper's GPUs are simulated); every kernel still
+// executes its numerics for real, so the results double as correctness
+// runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "lapack/flops.hpp"
+
+namespace irrlu::bench {
+
+inline gpusim::DeviceModel model_by_name(const std::string& name) {
+  if (name == "a100") return gpusim::DeviceModel::a100();
+  if (name == "mi100") return gpusim::DeviceModel::mi100();
+  if (name == "cpu") return gpusim::DeviceModel::xeon6140x2();
+  IRRLU_CHECK_MSG(false, "unknown device '" << name << "'");
+  return {};
+}
+
+/// The paper's Fig. 10/11 batch: `count` square matrices with sizes
+/// uniformly sampled in [lo, hi].
+inline std::vector<int> paper_batch_sizes(int count, int lo, int hi,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.uniform_sizes(count, lo, hi);
+}
+
+/// Aggregate LU operation count over a batch (all low-order terms kept,
+/// §V-A).
+inline double batch_getrf_flops(const std::vector<int>& n) {
+  double f = 0;
+  for (int v : n) f += la::getrf_flops(v, v);
+  return f;
+}
+
+/// Aggregate TRSM count: sum n_i * m_i^2 (Fig. 6 caption).
+inline double batch_trsm_flops(const std::vector<int>& m,
+                               const std::vector<int>& n) {
+  double f = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) f += la::trsm_flops(m[i], n[i]);
+  return f;
+}
+
+inline double gflops(double flops, double seconds) {
+  return seconds > 0 ? flops / seconds / 1e9 : 0.0;
+}
+
+}  // namespace irrlu::bench

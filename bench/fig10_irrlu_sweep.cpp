@@ -1,0 +1,126 @@
+// Figure 10: FP64 irrLU-GPU performance on 1000 square matrices with
+// sizes uniformly sampled in [1, N], sweeping N — against the streamed
+// per-matrix solver (cuSOLVER/rocSOLVER in 16 streams) and the CPU batched
+// LU (MKL getrf_batch on the dual-socket Xeon model).
+//
+// Paper shape to reproduce: streamed vendor solvers stay flat and slow
+// (host-serialized dispatch); irrLU on the A100 model reaches ~4.5x the
+// CPU; the MI100 model overtakes the CPU only for larger workloads (its
+// smaller shared memory and less mature toolchain cost it).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+#include "lapack/verify.hpp"
+#include "refbatch/cpu_batch.hpp"
+#include "refbatch/streamed_solver.hpp"
+
+using namespace irrlu;
+using namespace irrlu::batch;
+using namespace irrlu::bench;
+
+namespace {
+
+struct Run {
+  double seconds = 0;
+  double worst_residual = 0;
+};
+
+template <typename F>
+Run timed(gpusim::Device& dev, const std::vector<int>& sizes, F&& go) {
+  const int batch = static_cast<int>(sizes.size());
+  VBatch<double> A(dev, sizes), A0(dev, sizes);
+  Rng rng(11);
+  A.fill_uniform(rng);
+  A0.copy_from(A);
+  PivotBatch piv(dev, sizes, sizes);
+  dev.reset_timeline();
+  go(dev, A, piv);
+  Run r;
+  r.seconds = dev.synchronize_all();
+  for (int i = 0; i < batch; i += 37)
+    r.worst_residual = std::max(
+        r.worst_residual,
+        la::lu_residual(A.view(i), piv.ipiv_of(i), A0.view(i)));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int batch = args.get_int("batch", 300);
+  const bool full = args.get_bool("full");
+  const int streams = args.get_int("streams", 16);
+
+  std::printf("Figure 10 reproduction: irrLU-GPU FP64, %d matrices U[1,N]\n",
+              batch);
+  std::printf("(paper uses batch=1000; pass --batch 1000 to match exactly)\n");
+  std::printf("(streamed baseline uses %d streams, as in the paper)\n\n",
+              streams);
+
+  std::vector<int> points = {32, 64, 128, 256, 512};
+  if (full) points.push_back(1024);  // the paper's full x-range
+
+  TextTable table({"N", "irrLU A100", "irrLU MI100", "strm A100",
+                   "strm MI100", "CPU batch", "A100/CPU", "max resid"});
+  for (int n : points) {
+    const auto sizes = paper_batch_sizes(batch, 1, n, 1000 + n);
+    const double flops = batch_getrf_flops(sizes);
+    double col[5];
+    double resid = 0;
+
+    int c = 0;
+    for (const char* devname : {"a100", "mi100"}) {
+      gpusim::Device dev(model_by_name(devname));
+      const Run r = timed(dev, sizes, [&](gpusim::Device& d,
+                                          VBatch<double>& A,
+                                          PivotBatch& piv) {
+        irr_getrf<double>(d, d.stream(), n, n, A.ptrs(), A.lda(), 0, 0,
+                          A.m_vec(), A.n_vec(), piv.ptrs(), piv.info(),
+                          static_cast<int>(sizes.size()));
+      });
+      col[c++] = gflops(flops, r.seconds);
+      resid = std::max(resid, r.worst_residual);
+    }
+    for (const char* devname : {"a100", "mi100"}) {
+      gpusim::Device dev(model_by_name(devname));
+      const Run r = timed(dev, sizes, [&](gpusim::Device& d,
+                                          VBatch<double>& A,
+                                          PivotBatch& piv) {
+        refbatch::StreamedOptions so;
+        so.num_streams = streams;
+        refbatch::streamed_getrf<double>(d, sizes, sizes, A.ptrs(), A.lda(),
+                                         piv.ptrs(), piv.info(), so);
+      });
+      col[c++] = gflops(flops, r.seconds);
+      resid = std::max(resid, r.worst_residual);
+    }
+    {
+      gpusim::Device cpu(model_by_name("cpu"));
+      const Run r = timed(cpu, sizes, [&](gpusim::Device& d,
+                                          VBatch<double>& A,
+                                          PivotBatch& piv) {
+        refbatch::cpu_getrf_batch<double>(d, d.stream(), A.ptrs(), A.lda(),
+                                          A.m_vec(), A.n_vec(), piv.ptrs(),
+                                          piv.info(),
+                                          static_cast<int>(sizes.size()));
+      });
+      col[c++] = gflops(flops, r.seconds);
+      resid = std::max(resid, r.worst_residual);
+    }
+
+    table.add_row(n, TextTable::fmt(col[0], 1), TextTable::fmt(col[1], 1),
+                  TextTable::fmt(col[2], 1), TextTable::fmt(col[3], 1),
+                  TextTable::fmt(col[4], 1),
+                  TextTable::fmt(col[0] / (col[4] > 0 ? col[4] : 1), 2),
+                  TextTable::fmt(resid, 1));
+  }
+  table.print();
+  std::printf(
+      "\nrates in Gflop/s (simulated device time; residuals verify the"
+      "\nnumerics). paper: A100 ~4.5x CPU asymptotically, MI100 up to"
+      " ~2.7x,\nstreamed vendor solvers far below both.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 11: a small number of relatively large matrices — the workload
+// near the root of the assembly tree. The stream count of the per-matrix
+// baseline is tuned per point (as in the paper). Expect the streamed
+// vendor-style solver to close the gap and eventually overtake irrLU-GPU:
+// a design dedicated to batches of small matrices loses to per-matrix
+// kernels once single matrices can fill the device.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+#include "refbatch/streamed_solver.hpp"
+
+using namespace irrlu;
+using namespace irrlu::batch;
+using namespace irrlu::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int batch = args.get_int("batch", 4);
+  const bool full = args.get_bool("full");
+  const std::string device = args.get_string("device", "a100");
+
+  std::printf(
+      "Figure 11 reproduction: %d large matrices, sizes U[N/2, N], %s\n\n",
+      batch, model_by_name(device).name.c_str());
+
+  std::vector<int> points = {256, 512, 1024, 2048};
+  if (full) points.push_back(4096);
+
+  TextTable table({"N", "irrLU GF/s", "streamed GF/s", "best #streams",
+                   "streamed/irrLU"});
+  for (int n : points) {
+    Rng rng(555 + n);
+    std::vector<int> sizes(static_cast<std::size_t>(batch));
+    for (auto& v : sizes) v = rng.uniform_int(n / 2, n);
+    const double flops = batch_getrf_flops(sizes);
+
+    gpusim::Device dev(model_by_name(device));
+    double t_irr;
+    {
+      VBatch<double> A(dev, sizes);
+      A.fill_uniform(rng);
+      PivotBatch piv(dev, sizes, sizes);
+      dev.reset_timeline();
+      irr_getrf<double>(dev, dev.stream(), n, n, A.ptrs(), A.lda(), 0, 0,
+                        A.m_vec(), A.n_vec(), piv.ptrs(), piv.info(), batch);
+      t_irr = dev.synchronize_all();
+    }
+
+    // Tune the stream count empirically, as the paper does per test point.
+    double t_best = 0;
+    int s_best = 0;
+    for (int s : {1, 2, 4, 8, 16}) {
+      if (s > batch) break;
+      VBatch<double> A(dev, sizes);
+      A.fill_uniform(rng);
+      PivotBatch piv(dev, sizes, sizes);
+      dev.reset_timeline();
+      refbatch::StreamedOptions so;
+      so.num_streams = s;
+      refbatch::streamed_getrf<double>(dev, sizes, sizes, A.ptrs(), A.lda(),
+                                       piv.ptrs(), piv.info(), so);
+      const double t = dev.synchronize_all();
+      if (s_best == 0 || t < t_best) {
+        t_best = t;
+        s_best = s;
+      }
+    }
+
+    table.add_row(n, TextTable::fmt(gflops(flops, t_irr), 1),
+                  TextTable::fmt(gflops(flops, t_best), 1), s_best,
+                  TextTable::fmt(t_irr / t_best, 2));
+  }
+  table.print();
+  std::printf(
+      "\npaper: the gap narrows with size and flips in favor of the"
+      "\nstreamed per-matrix solver for the largest matrices.\n");
+  return 0;
+}

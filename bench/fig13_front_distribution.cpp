@@ -1,0 +1,52 @@
+// Figure 13: distribution of the front (matrix) sizes and the batch count
+// per assembly-tree level for the indefinite Maxwell matrix. As the tree
+// is traversed from the leaves toward the root (level 0), the average
+// front size grows while the batch size shrinks — the irregular workload
+// that motivates irrLU-GPU.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fem/mesh.hpp"
+#include "fem/nedelec.hpp"
+#include "sparse/solver.hpp"
+
+using namespace irrlu;
+using namespace irrlu::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int nt = args.get_int("ntheta", args.get_bool("large") ? 40 : 24);
+  const int nc = args.get_int("ncross", args.get_bool("large") ? 12 : 8);
+  const double omega = args.get_double("omega", 16.0);
+
+  const fem::HexMesh mesh = fem::HexMesh::torus(nt, nc, nc);
+  const fem::EdgeSystem sys = fem::assemble_maxwell(
+      mesh, omega, fem::paper_maxwell_load(omega, omega / 1.05));
+
+  std::printf(
+      "Figure 13 reproduction: front-size distribution per tree level\n");
+  std::printf("Maxwell torus %dx%dx%d, omega=%g, N=%d, nnz=%lld\n\n", nt, nc,
+              nc, omega, sys.a.rows(),
+              static_cast<long long>(sys.a.nnz()));
+
+  sparse::SolverOptions opts;
+  opts.nd.leaf_size = args.get_int("leaf", 16);  // deep tree, tiny leaves
+  sparse::SparseDirectSolver solver(opts);
+  solver.analyze(sys.a);
+
+  TextTable table(
+      {"level", "batch (fronts)", "min size", "avg size", "max size"});
+  for (const auto& st : solver.level_stats())
+    table.add_row(st.level, st.batch, st.min_dim,
+                  TextTable::fmt(st.avg_dim, 1), st.max_dim);
+  table.print();
+
+  const auto& sym = solver.symbolic();
+  std::printf("\nfactor flops: %.3g, factor nnz: %lld, max front: %d\n",
+              sym.factor_flops, static_cast<long long>(sym.factor_nnz),
+              sym.max_front_dim);
+  std::printf(
+      "paper shape: average size grows toward the root while the batch"
+      "\ncount shrinks (leaves: thousands of tiny fronts).\n");
+  return 0;
+}

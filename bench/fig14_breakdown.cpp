@@ -1,0 +1,93 @@
+// Figure 14: runtime breakdown of the numeric factorization by operation
+// class (panel/LU, pivoting, TRSM, GEMM, assembly/extend-add), comparing
+// the batched irr* schedule against the naive per-front loop, on the A100
+// model. The batched GEMM path is hybrid, as in the paper: fronts larger
+// than a threshold run dedicated per-front GEMM launches ("cuBLAS GEMM in
+// a loop for sizes > 256").
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "fem/mesh.hpp"
+#include "fem/nedelec.hpp"
+#include "sparse/solver.hpp"
+
+using namespace irrlu;
+using namespace irrlu::bench;
+
+namespace {
+
+std::string op_class(const std::string& kernel) {
+  if (kernel.rfind("irr_gemm", 0) == 0) return "GEMM";
+  if (kernel.rfind("irr_trsm", 0) == 0) return "TRSM";
+  if (kernel.rfind("irr_laswp", 0) == 0) return "row swaps (LASWP)";
+  if (kernel.rfind("mf_", 0) == 0) return "assembly/extend-add";
+  return "LU panel+pivot";  // getf2 / iamax / swap / scal / ger / setup
+}
+
+std::map<std::string, double> breakdown(sparse::Engine engine,
+                                        const sparse::CsrMatrix& a,
+                                        double* total, long* launches,
+                                        int hybrid_threshold = 256) {
+  gpusim::Device dev(model_by_name("a100"));
+  sparse::SolverOptions opts;
+  opts.nd.leaf_size = 16;  // deep tree: many small fronts, as in the paper
+  opts.factor.hybrid_gemm_threshold = hybrid_threshold;
+  opts.factor.engine = engine;
+  sparse::SparseDirectSolver solver(opts);
+  solver.analyze(a);
+  solver.factor(dev);
+  std::map<std::string, double> by_class;
+  for (const auto& [name, st] : dev.profile())
+    by_class[op_class(name)] += st.sim_seconds;
+  *total = solver.numeric().factor_seconds();
+  *launches = solver.numeric().launch_count();
+  return by_class;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int nt = args.get_int("ntheta", args.get_bool("large") ? 40 : 24);
+  const int nc = args.get_int("ncross", args.get_bool("large") ? 12 : 8);
+  const double omega = args.get_double("omega", 16.0);
+
+  const fem::HexMesh mesh = fem::HexMesh::torus(nt, nc, nc);
+  const fem::EdgeSystem sys = fem::assemble_maxwell(
+      mesh, omega, fem::paper_maxwell_load(omega, omega / 1.05));
+  std::printf(
+      "Figure 14 reproduction: factorization breakdown by operation\n");
+  std::printf("Maxwell torus, N=%d, A100 model\n\n", sys.a.rows());
+
+  double t_b = 0, t_n = 0, t_l = 0;
+  long l_b = 0, l_n = 0, l_l = 0;
+  const auto bat = breakdown(sparse::Engine::kBatched, sys.a, &t_b, &l_b);
+  const auto nohyb =
+      breakdown(sparse::Engine::kBatched, sys.a, &t_n, &l_n, 0);
+  const auto loop = breakdown(sparse::Engine::kLooped, sys.a, &t_l, &l_l);
+
+  TextTable table({"operation", "batched+hybrid (ms)", "batched only (ms)",
+                   "looped (ms)", "loop/hybrid"});
+  for (const char* cls : {"LU panel+pivot", "row swaps (LASWP)", "TRSM",
+                          "GEMM", "assembly/extend-add"}) {
+    const double b = bat.count(cls) ? bat.at(cls) : 0.0;
+    const double nh = nohyb.count(cls) ? nohyb.at(cls) : 0.0;
+    const double l = loop.count(cls) ? loop.at(cls) : 0.0;
+    table.add_row(cls, TextTable::fmt(b * 1e3, 3), TextTable::fmt(nh * 1e3, 3),
+                  TextTable::fmt(l * 1e3, 3),
+                  TextTable::fmt(b > 0 ? l / b : 0.0, 1));
+  }
+  table.add_row("TOTAL (timeline)", TextTable::fmt(t_b * 1e3, 3),
+                TextTable::fmt(t_n * 1e3, 3), TextTable::fmt(t_l * 1e3, 3),
+                TextTable::fmt(t_l / t_b, 1));
+  table.print();
+  std::printf("\nkernel launches: batched+hybrid=%ld, batched-only=%ld, "
+              "looped=%ld\n",
+              l_b, l_n, l_l);
+  std::printf(
+      "paper: irrLU and irrTRSM beat the looped GETRF/GETRS at almost all"
+      "\nsizes; GEMM is hybrid (irrGEMM <= 256, per-front beyond).\n");
+  return 0;
+}

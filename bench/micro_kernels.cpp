@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the irregular-batch kernels' *host
+// execution* (real wall time of the simulator running the numerics). These
+// complement the paper-figure drivers, which report simulated device time:
+// here the framework's statistics track regressions of the actual C++
+// kernels in this repository.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+#include "lapack/flops.hpp"
+
+using namespace irrlu;
+using namespace irrlu::batch;
+using irrlu::gpusim::Device;
+using irrlu::gpusim::DeviceModel;
+
+namespace {
+
+void BM_IrrGemm(benchmark::State& state) {
+  const int batch = 64;
+  const int n = static_cast<int>(state.range(0));
+  Device dev(DeviceModel::a100());
+  Rng rng(1);
+  auto sizes = rng.uniform_sizes(batch, 1, n);
+  VBatch<double> A(dev, sizes), B(dev, sizes), C(dev, sizes);
+  A.fill_uniform(rng);
+  B.fill_uniform(rng);
+  C.fill_uniform(rng);
+  double flops = 0;
+  for (int v : sizes) flops += la::gemm_flops(v, v, v);
+  for (auto _ : state) {
+    irr_gemm<double>(dev, dev.stream(), la::Trans::No, la::Trans::No, n, n,
+                     n, 1.0, A.ptrs(), A.lda(), 0, 0, B.ptrs(), B.lda(), 0,
+                     0, 0.0, C.ptrs(), C.lda(), 0, 0, A.m_vec(), A.n_vec(),
+                     A.m_vec(), batch);
+    dev.synchronize_all();
+    benchmark::DoNotOptimize(C.view(0).data());
+  }
+  state.counters["host_gflops"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IrrGemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_IrrTrsm(benchmark::State& state) {
+  const int batch = 64;
+  const int n = static_cast<int>(state.range(0));
+  Device dev(DeviceModel::a100());
+  Rng rng(2);
+  auto tri = rng.uniform_sizes(batch, 1, n);
+  std::vector<int> rhs(tri.size(), 16);
+  VBatch<double> T(dev, tri, tri), B(dev, tri, rhs);
+  T.fill_uniform(rng);
+  for (int i = 0; i < batch; ++i)
+    for (int d = 0; d < tri[static_cast<std::size_t>(i)]; ++d)
+      T.view(i)(d, d) += 4.0;
+  B.fill_uniform(rng);
+  for (auto _ : state) {
+    irr_trsm<double>(dev, dev.stream(), la::Side::Left, la::Uplo::Lower,
+                     la::Trans::No, la::Diag::NonUnit, n, 16, 1.0, T.ptrs(),
+                     T.lda(), 0, 0, B.ptrs(), B.lda(), 0, 0, B.m_vec(),
+                     B.n_vec(), batch);
+    dev.synchronize_all();
+    benchmark::DoNotOptimize(B.view(0).data());
+  }
+}
+BENCHMARK(BM_IrrTrsm)->Arg(64)->Arg(128);
+
+void BM_IrrGetrf(benchmark::State& state) {
+  const int batch = 64;
+  const int n = static_cast<int>(state.range(0));
+  Device dev(DeviceModel::a100());
+  Rng rng(3);
+  auto sizes = rng.uniform_sizes(batch, 1, n);
+  VBatch<double> A0(dev, sizes), A(dev, sizes);
+  A0.fill_uniform(rng);
+  PivotBatch piv(dev, sizes, sizes);
+  for (auto _ : state) {
+    state.PauseTiming();
+    A.copy_from(A0);
+    state.ResumeTiming();
+    irr_getrf<double>(dev, dev.stream(), n, n, A.ptrs(), A.lda(), 0, 0,
+                      A.m_vec(), A.n_vec(), piv.ptrs(), piv.info(), batch);
+    dev.synchronize_all();
+  }
+}
+BENCHMARK(BM_IrrGetrf)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

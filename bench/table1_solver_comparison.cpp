@@ -1,0 +1,87 @@
+// Table I: total numeric-factorization time of the sparse direct solver on
+// the indefinite Maxwell problem, across schedules and devices:
+//   - irr-batched (the paper's optimized solution) on A100 and MI100,
+//   - the naive cuBLAS/cuSOLVER-style per-front loop,
+//   - the STRUMPACK-v6.3.1-style legacy schedule (batched only below 32,
+//     per-level synchronization) — the paper's closest competitor,
+//   - a SuperLU-style right-looking schedule (eager per-front scatter),
+//   - the batched schedule on the CPU model (the CPU-only reference).
+// Also reports launch counts and synchronization wait, mirroring the
+// paper's Nsight observations (STRUMPACK: 9.1 s in cudaStreamSynchronize,
+// 6.5 s in cudaLaunchKernel; optimized: 0.33 s / 0.16 s).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fem/mesh.hpp"
+#include "fem/nedelec.hpp"
+#include "sparse/solver.hpp"
+
+using namespace irrlu;
+using namespace irrlu::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int nt = args.get_int("ntheta", args.get_bool("large") ? 40 : 24);
+  const int nc = args.get_int("ncross", args.get_bool("large") ? 12 : 8);
+  const double omega = args.get_double("omega", 16.0);
+
+  const fem::HexMesh mesh = fem::HexMesh::torus(nt, nc, nc);
+  const fem::EdgeSystem sys = fem::assemble_maxwell(
+      mesh, omega, fem::paper_maxwell_load(omega, omega / 1.05));
+  std::printf("Table I reproduction: sparse direct solver comparison\n");
+  std::printf("Maxwell torus %dx%dx%d, omega=%g, N=%d, nnz=%lld\n\n", nt, nc,
+              nc, omega, sys.a.rows(),
+              static_cast<long long>(sys.a.nnz()));
+
+  struct Config {
+    const char* label;
+    const char* device;
+    sparse::Engine engine;
+  };
+  const Config configs[] = {
+      {"irr-batched", "a100", sparse::Engine::kBatched},
+      {"irr-batched", "mi100", sparse::Engine::kBatched},
+      {"naive loop (cuSOLVER-style)", "a100", sparse::Engine::kLooped},
+      {"naive loop (cuSOLVER-style)", "mi100", sparse::Engine::kLooped},
+      {"legacy <32 batch (STRUMPACK-style)", "a100",
+       sparse::Engine::kLegacySmallBatch},
+      {"right-looking (SuperLU-style)", "a100",
+       sparse::Engine::kRightLooking},
+      {"irr-batched", "cpu", sparse::Engine::kBatched},
+  };
+
+  TextTable table({"solver", "device", "factor (s)", "launches", "syncs",
+                   "sync wait (s)", "residual"});
+  double t_batched_a100 = 0;
+  std::vector<double> b(static_cast<std::size_t>(sys.a.rows()), 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = sys.b[i];
+
+  for (const Config& cfg : configs) {
+    gpusim::Device dev(model_by_name(cfg.device));
+    sparse::SolverOptions opts;
+    opts.nd.leaf_size = 16;  // deep tree: many small fronts, as in the paper
+    opts.factor.engine = cfg.engine;
+    sparse::SparseDirectSolver solver(opts);
+    solver.analyze(sys.a);
+    solver.factor(dev);
+    const auto x = solver.solve(b);
+    const double res = solver.residual(x, b);
+    const auto& num = solver.numeric();
+    if (cfg.engine == sparse::Engine::kBatched &&
+        std::string(cfg.device) == "a100")
+      t_batched_a100 = num.factor_seconds();
+    table.add_row(cfg.label, cfg.device,
+                  TextTable::fmt(num.factor_seconds(), 4),
+                  num.launch_count(), num.sync_count(),
+                  TextTable::fmt(num.sync_wait_seconds(), 4),
+                  TextTable::sci(res));
+  }
+  table.print();
+  std::printf(
+      "\nfastest expected: irr-batched on A100, with the MI100 close"
+      "\nbehind (launch-overhead removal matters more there); the legacy"
+      "\nand looped schedules pay heavy launch + sync costs. "
+      "(A100 batched: %.4f s)\n",
+      t_batched_a100);
+  return 0;
+}

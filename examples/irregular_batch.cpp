@@ -1,0 +1,76 @@
+// Working with the expanded interface directly (§IV-A): performs a blocked
+// two-step factorization "by hand" with offset-carrying irrGEMM / irrTRSM
+// calls on submatrices, demonstrating how the interface eliminates pointer
+// and integer arithmetic between steps — and how DCWI classifies each
+// matrix's workload (full / partial / none) at every step.
+//
+//   build/examples/irregular_batch
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "irrblas/dcwi.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+#include "lapack/verify.hpp"
+
+using namespace irrlu;
+using namespace irrlu::batch;
+
+int main() {
+  gpusim::Device dev(gpusim::DeviceModel::a100());
+
+  // Three matrices as in the paper's Figure 4: sizes that finish at
+  // different stages of the blocked factorization.
+  const std::vector<int> sizes = {15, 8, 3};
+  VBatch<double> A(dev, sizes), A0(dev, sizes);
+  Rng rng(5);
+  A.fill_uniform(rng);
+  A0.copy_from(A);
+  PivotBatch piv(dev, sizes, sizes);
+  const int nb = 5;  // blocked decomposition, five columns at a time
+
+  std::printf("blocked LU by hand, 3 matrices (15, 8, 3), panel width %d\n",
+              nb);
+  for (int j = 0; j < 15; j += nb) {
+    // DCWI classifies each matrix at this iteration, as in Fig. 4/5.
+    std::printf("iteration j=%2d:", j);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const LuWork w = dcwi_lu(15 - j, 15 - j, j, j, sizes[i], sizes[i]);
+      std::printf("  matrix %zu: %s (%dx%d)", i,
+                  w.none() ? "none" : (w.kmin() > nb ? "full" : "partial"),
+                  w.m, w.n);
+    }
+    std::printf("\n");
+
+    // Panel at offset (j, j); pivots land at absolute row indices.
+    irr_getf2_fused<double>(dev, dev.stream(), 15 - j, nb, A.ptrs(), A.lda(),
+                            j, j, A.m_vec(), A.n_vec(), piv.ptrs(),
+                            piv.info(), 3);
+    // Row interchanges left and right of the panel.
+    irr_laswp<double>(dev, dev.stream(), j, nb, A.ptrs(), A.lda(), A.m_vec(),
+                      A.n_vec(), piv.ptrs(), 3);
+    // U block row: solve L11 X = A12. The same pointer arrays, only the
+    // offsets change — no per-step setup kernels.
+    irr_trsm<double>(dev, dev.stream(), la::Side::Left, la::Uplo::Lower,
+                     la::Trans::No, la::Diag::Unit, nb, 15 - j - nb, 1.0,
+                     A.ptrs(), A.lda(), j, j, A.ptrs(), A.lda(), j, j + nb,
+                     A.m_vec(), A.n_vec(), 3);
+    // Trailing update A22 -= A21 * A12.
+    irr_gemm<double>(dev, dev.stream(), la::Trans::No, la::Trans::No,
+                     15 - j - nb, 15 - j - nb, nb, -1.0, A.ptrs(), A.lda(),
+                     j + nb, j, A.ptrs(), A.lda(), j, j + nb, 1.0, A.ptrs(),
+                     A.lda(), j + nb, j + nb, A.m_vec(), A.n_vec(),
+                     A.m_vec(), 3);
+  }
+  dev.synchronize_all();
+
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    std::printf("matrix %zu: scaled LU residual %.2f\n", i,
+                la::lu_residual(A.view(static_cast<int>(i)),
+                                piv.ipiv_of(static_cast<int>(i)),
+                                A0.view(static_cast<int>(i))));
+  std::printf("(values of O(1..10) indicate a backward-stable result)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's application (§V-B): the indefinite Maxwell problem
+//   curl curl E - Omega^2 E = f
+// discretized with lowest-order Nédélec elements on a toroidal hexahedral
+// mesh, solved with the batched multifrontal sparse direct solver.
+//
+//   build/examples/maxwell_solver [--ntheta 24] [--ncross 8] [--omega 16]
+//                                 [--device a100|mi100|cpu]
+//
+// Prints the three solver phases with their statistics, mirroring the
+// paper's reporting: analysis (MC64 + nested dissection + symbolic),
+// numeric factorization (simulated device time, launches), and solve with
+// one step of iterative refinement to machine precision.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "fem/mesh.hpp"
+#include "fem/nedelec.hpp"
+#include "gpusim/device.hpp"
+#include "sparse/solver.hpp"
+
+using namespace irrlu;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int nt = args.get_int("ntheta", 24);
+  const int nc = args.get_int("ncross", 8);
+  const double omega = args.get_double("omega", 16.0);
+  const std::string device = args.get_string("device", "a100");
+
+  // --- discretization ----------------------------------------------------
+  WallTimer t_mesh;
+  const fem::HexMesh mesh = fem::HexMesh::torus(nt, nc, nc);
+  const fem::EdgeSystem sys = fem::assemble_maxwell(
+      mesh, omega, fem::paper_maxwell_load(omega, omega / 1.05));
+  std::printf("indefinite Maxwell on a torus (%dx%dx%d hexes), omega=%g\n",
+              nt, nc, nc, omega);
+  std::printf("N = %d edge dofs, nnz = %lld  (assembled in %.2f s)\n\n",
+              sys.a.rows(), static_cast<long long>(sys.a.nnz()),
+              t_mesh.seconds());
+
+  // --- phase 1: reordering and symbolic analysis --------------------------
+  sparse::SolverOptions opts;
+  opts.nd.leaf_size = 16;
+  sparse::SparseDirectSolver solver(opts);
+  WallTimer t_analyze;
+  solver.analyze(sys.a);
+  const auto& sym = solver.symbolic();
+  std::printf("phase 1 (analysis):     %.2f s host\n", t_analyze.seconds());
+  std::printf("  assembly tree: %zu fronts over %zu levels, largest front "
+              "%d\n",
+              sym.fronts.size(), sym.levels.size(), sym.max_front_dim);
+  std::printf("  predicted factor: %.3g flops, %lld nonzeros\n",
+              sym.factor_flops, static_cast<long long>(sym.factor_nnz));
+
+  // --- phase 2: numeric factorization -------------------------------------
+  gpusim::DeviceModel model = device == "mi100"
+                                  ? gpusim::DeviceModel::mi100()
+                                  : device == "cpu"
+                                        ? gpusim::DeviceModel::xeon6140x2()
+                                        : gpusim::DeviceModel::a100();
+  gpusim::Device dev(model);
+  solver.factor(dev);
+  const auto& num = solver.numeric();
+  std::printf("phase 2 (factorization) on %s:\n", model.name.c_str());
+  std::printf("  %.4f simulated s, %ld launches, %.1f MB device peak\n",
+              num.factor_seconds(), num.launch_count(),
+              num.peak_device_bytes() / 1e6);
+
+  // --- phase 3: solve + iterative refinement ------------------------------
+  std::vector<double> b(sys.b.begin(), sys.b.end());
+  const auto x = solver.solve(b);
+  std::printf("phase 3 (solve):        residual = %.2e ",
+              solver.residual(x, b));
+  std::printf("(after %d refinement step)\n", 1);
+
+  // A physical sanity number: the discrete field energy.
+  double emax = 0;
+  for (double v : x) emax = std::max(emax, std::abs(v));
+  std::printf("\nmax |E| circulation: %.4g\n", emax);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// The preprocessing substrates in isolation: MC64-style matching/scaling
+// and the fill-reducing orderings (nested dissection vs minimum degree vs
+// reverse Cuthill-McKee vs natural), compared by the fill they produce on
+// a model problem — the solver-agnostic part of the paper's phase 1.
+//
+//   build/examples/ordering_demo [--nx 24] [--ny 24]
+#include <cstdio>
+#include <numeric>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "ordering/graph.hpp"
+#include "ordering/mc64.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/symbolic.hpp"
+
+using namespace irrlu;
+using namespace irrlu::ordering;
+
+namespace {
+
+// Fill of a symbolic Cholesky-style elimination in the given order,
+// counted with a quotient-free sparse algorithm (fine up to a few
+// thousand vertices).
+long fill_of(const Graph& g, const std::vector<int>& perm) {
+  const int n = g.num_vertices();
+  std::vector<int> pos(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pos[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    for (int k = g.ptr()[static_cast<std::size_t>(v)];
+         k < g.ptr()[static_cast<std::size_t>(v) + 1]; ++k)
+      adj[static_cast<std::size_t>(v)].push_back(
+          g.adj()[static_cast<std::size_t>(k)]);
+  long fill = 0;
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < n; ++s) {
+    const int v = perm[static_cast<std::size_t>(s)];
+    std::vector<int> later;
+    for (int u : adj[static_cast<std::size_t>(v)])
+      if (pos[static_cast<std::size_t>(u)] > s &&
+          !mark[static_cast<std::size_t>(u)]) {
+        mark[static_cast<std::size_t>(u)] = 1;
+        later.push_back(u);
+      }
+    for (int u : later) mark[static_cast<std::size_t>(u)] = 0;
+    fill += static_cast<long>(later.size());
+    // Clique among the later neighbors.
+    for (std::size_t i = 0; i < later.size(); ++i)
+      for (std::size_t j = i + 1; j < later.size(); ++j) {
+        adj[static_cast<std::size_t>(later[i])].push_back(later[j]);
+        adj[static_cast<std::size_t>(later[j])].push_back(later[i]);
+      }
+  }
+  return fill;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int nx = args.get_int("nx", 24);
+  const int ny = args.get_int("ny", 24);
+
+  // --- MC64 on a badly scaled unsymmetric matrix -------------------------
+  Rng rng(9);
+  sparse::CsrMatrix lap = sparse::laplacian2d(8, 8);
+  auto val = lap.val();
+  for (std::size_t k = 0; k < val.size(); ++k)
+    val[k] *= std::pow(10.0, rng.uniform_int(-5, 5));
+  sparse::CsrMatrix bad(lap.rows(), lap.ptr(), lap.ind(), val);
+  const Mc64Result mc = mc64_scaling(bad.rows(), bad.ptr().data(),
+                                     bad.ind().data(), bad.val().data());
+  double max_off = 0;
+  int unit_diag = 0;
+  for (int i = 0; i < bad.rows(); ++i)
+    for (int k = bad.ptr()[static_cast<std::size_t>(i)];
+         k < bad.ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = bad.ind()[static_cast<std::size_t>(k)];
+      const double s = mc.dr[static_cast<std::size_t>(i)] *
+                       std::abs(bad.val()[static_cast<std::size_t>(k)]) *
+                       mc.dc[static_cast<std::size_t>(j)];
+      if (j == mc.col_of_row[static_cast<std::size_t>(i)])
+        unit_diag += std::abs(s - 1.0) < 1e-9;
+      else
+        max_off = std::max(max_off, s);
+    }
+  std::printf("MC64 matching/scaling on a matrix with entries spanning 10"
+              " orders:\n  matched diagonal |.| == 1 for %d/%d rows, max"
+              " off-diagonal %.3f\n\n",
+              unit_diag, bad.rows(), max_off);
+
+  // --- ordering comparison ------------------------------------------------
+  const Graph g = Graph::grid2d(nx, ny);
+  std::printf("fill comparison on a %dx%d grid (%d vertices):\n\n", nx, ny,
+              g.num_vertices());
+  TextTable table({"ordering", "fill entries", "vs natural"});
+
+  std::vector<int> natural(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(natural.begin(), natural.end(), 0);
+  const long f_nat = fill_of(g, natural);
+  table.add_row("natural", f_nat, "1.00");
+
+  const auto f_rcm = fill_of(g, rcm(g));
+  table.add_row("reverse Cuthill-McKee", f_rcm,
+                TextTable::fmt(double(f_rcm) / f_nat, 2));
+
+  const auto f_md = fill_of(g, minimum_degree(g));
+  table.add_row("minimum degree", f_md,
+                TextTable::fmt(double(f_md) / f_nat, 2));
+
+  const Ordering nd = nested_dissection(g);
+  const long f_nd = fill_of(g, nd.perm);
+  table.add_row("nested dissection", f_nd,
+                TextTable::fmt(double(f_nd) / f_nat, 2));
+  table.print();
+
+  std::printf("\nND separator tree: %zu nodes; the paper's solver builds "
+              "its assembly tree from exactly this structure.\n",
+              nd.tree.size());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: factor a batch of matrices of completely different sizes
+// with irrLU-GPU and solve one right-hand side per matrix.
+//
+//   build/examples/quickstart [--batch N] [--max-size M]
+//
+// Walks through the library's core concepts: the simulated device, the
+// VBatch container, the flat irregular-batch interface, and verification.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+#include "lapack/lapack.hpp"
+#include "lapack/verify.hpp"
+
+using namespace irrlu;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int batch = args.get_int("batch", 100);
+  const int max_size = args.get_int("max-size", 200);
+
+  // 1. A simulated device. All kernels execute their numerics for real on
+  //    the host; the device model provides GPU-like semantics (thread
+  //    blocks, shared-memory limits, streams) and a simulated clock.
+  gpusim::Device dev(gpusim::DeviceModel::a100());
+
+  // 2. A batch of square matrices of completely arbitrary sizes — the
+  //    paper's headline workload. Sizes 1 .. max_size, no distribution
+  //    assumptions whatsoever.
+  Rng rng(/*seed=*/2024);
+  const std::vector<int> sizes = rng.uniform_sizes(batch, 1, max_size);
+  batch::VBatch<double> A(dev, sizes), A0(dev, sizes);
+  A.fill_uniform(rng);
+  A0.copy_from(A);  // keep originals for verification
+  batch::PivotBatch piv(dev, sizes, sizes);
+
+  // 3. One call factors everything: the host loop inside irr_getrf is
+  //    written against the *largest* workload; DCWI retires each matrix
+  //    exactly when its own factorization completes.
+  batch::irr_getrf<double>(dev, dev.stream(), A.max_m(), A.max_n(), A.ptrs(),
+                           A.lda(), /*Ai=*/0, /*Aj=*/0, A.m_vec(), A.n_vec(),
+                           piv.ptrs(), piv.info(), batch);
+  const double sim_seconds = dev.synchronize_all();
+
+  // 4. Verify: reconstruct P*L*U per matrix and solve a system.
+  double worst = 0;
+  for (int i = 0; i < batch; ++i)
+    worst = std::max(worst,
+                     la::lu_residual(A.view(i), piv.ipiv_of(i), A0.view(i)));
+
+  const int demo = batch / 2;
+  const int n = sizes[static_cast<std::size_t>(demo)];
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0), x = b;
+  la::getrs(la::Trans::No, n, 1, A.view(demo).data(), n, piv.ipiv_of(demo),
+            x.data(), n);
+
+  std::printf("factored %d matrices, sizes 1..%d\n", batch, max_size);
+  std::printf("simulated A100 time: %.3f ms over %ld kernel launches\n",
+              sim_seconds * 1e3, dev.launch_count());
+  std::printf("worst scaled LU residual: %.2f (O(1..10) = backward stable)\n",
+              worst);
+  std::printf("solve residual on matrix %d (n=%d): %.2e\n", demo, n,
+              la::solve_residual(A0.view(demo), x.data(), b.data()));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Error-handling primitives used across the irrlu libraries.
+//
+// IRRLU_CHECK is an always-on precondition check (throws irrlu::Error); it
+// guards API contracts that user code can violate. IRRLU_DEBUG_ASSERT guards
+// internal invariants and compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace irrlu {
+
+/// Exception thrown on contract violations in the irrlu libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "irrlu check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace irrlu
+
+#define IRRLU_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::irrlu::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define IRRLU_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream irrlu_os_;                                        \
+      irrlu_os_ << msg;                                                    \
+      ::irrlu::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                           irrlu_os_.str());               \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define IRRLU_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define IRRLU_DEBUG_ASSERT(expr) IRRLU_CHECK(expr)
+#endif

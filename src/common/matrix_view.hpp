@@ -1,0 +1,101 @@
+// Non-owning column-major matrix views, the lingua franca of the dense
+// kernels. Mirrors the (pointer, ld) convention of BLAS/LAPACK so that the
+// irregular-batch code can hand out submatrix views with zero copies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace irrlu {
+
+/// Lightweight non-owning view of a column-major matrix block.
+///
+/// Element (i, j) lives at data[i + j * ld]. The view carries its logical
+/// extent (rows × cols); `ld >= rows` as in BLAS.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    IRRLU_DEBUG_ASSERT(rows >= 0 && cols >= 0);
+    IRRLU_DEBUG_ASSERT(ld >= rows || cols == 0);
+  }
+
+  T* data() const { return data_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return ld_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(int i, int j) const {
+    IRRLU_DEBUG_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::ptrdiff_t>(j) * ld_ + i];
+  }
+
+  /// Subblock view of `r` rows and `c` cols starting at (i, j).
+  MatrixView block(int i, int j, int r, int c) const {
+    IRRLU_DEBUG_ASSERT(i >= 0 && j >= 0 && r >= 0 && c >= 0);
+    IRRLU_DEBUG_ASSERT(i + r <= rows_ && j + c <= cols_);
+    return MatrixView(data_ + static_cast<std::ptrdiff_t>(j) * ld_ + i, r, c,
+                      ld_);
+  }
+
+  MatrixView col(int j) const { return block(0, j, rows_, 1); }
+  MatrixView row(int i) const { return block(i, 0, 1, cols_); }
+
+  operator MatrixView<const T>() const {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+template <typename T>
+using ConstMatrixView = MatrixView<const T>;
+
+/// Owning column-major matrix with ld == rows; hands out views.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T fill = T{})
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
+    IRRLU_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return rows_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(int i, int j) {
+    IRRLU_DEBUG_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  const T& operator()(int i, int j) const {
+    IRRLU_DEBUG_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  MatrixView<T> view() { return MatrixView<T>(data(), rows_, cols_, rows_); }
+  ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data(), rows_, cols_, rows_);
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace irrlu

@@ -1,0 +1,64 @@
+// Deterministic random generation helpers. All tests and benchmarks seed
+// explicitly so results are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/matrix_view.hpp"
+
+namespace irrlu {
+
+/// Thin wrapper over a 64-bit Mersenne twister with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(gen_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+  /// Batch of sizes uniformly sampled in [lo, hi] — the paper's workload
+  /// generator for Figures 10/11 ("sizes randomly sampled between 1 and N").
+  std::vector<int> uniform_sizes(int count, int lo, int hi) {
+    std::vector<int> s(static_cast<std::size_t>(count));
+    for (auto& v : s) v = uniform_int(lo, hi);
+    return s;
+  }
+
+  template <typename T>
+  void fill_uniform(MatrixView<T> a, T lo = T(-1), T hi = T(1)) {
+    std::uniform_real_distribution<double> d(static_cast<double>(lo),
+                                             static_cast<double>(hi));
+    for (int j = 0; j < a.cols(); ++j)
+      for (int i = 0; i < a.rows(); ++i) a(i, j) = static_cast<T>(d(gen_));
+  }
+
+  /// Fills a with random entries and boosts the diagonal so the matrix is
+  /// comfortably non-singular (used where pivot growth is not under test).
+  template <typename T>
+  void fill_diagonally_dominant(MatrixView<T> a) {
+    fill_uniform(a);
+    const int n = a.rows() < a.cols() ? a.rows() : a.cols();
+    for (int i = 0; i < n; ++i)
+      a(i, i) += static_cast<T>(a.rows() >= 1 ? a.rows() : 1);
+  }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace irrlu

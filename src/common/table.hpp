@@ -1,0 +1,77 @@
+// Plain-text table printer used by the benchmark harnesses to emit
+// paper-style rows (one table/figure per binary).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace irrlu {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        if (r[c].size() > w[c]) w[c] = r[c].size();
+    print_row(os, header_, w);
+    std::string rule;
+    for (std::size_t c = 0; c < w.size(); ++c)
+      rule += std::string(w[c] + (c + 1 < w.size() ? 2 : 0), '-');
+    os << rule << "\n";
+    for (const auto& r : rows_) print_row(os, r, w);
+  }
+
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(T&& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(v));
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& w) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(w[c])) << r[c];
+      if (c + 1 < r.size()) os << "  ";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace irrlu

@@ -1,0 +1,23 @@
+// Wall-clock timing for host-side measurements. Simulated-device time is a
+// separate concept and lives in gpusim::Timeline.
+#pragma once
+
+#include <chrono>
+
+namespace irrlu {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace irrlu

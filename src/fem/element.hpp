@@ -1,0 +1,98 @@
+// Reference-element machinery shared by the nodal and edge (Nédélec)
+// assemblies: trilinear geometry mapping on [0,1]^3, its Jacobian, and a
+// 2x2x2 Gauss quadrature rule.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irrlu::fem {
+
+struct QuadPoint {
+  double xi, eta, zeta, w;
+};
+
+/// Tensor-product 2-point Gauss rule on the unit cube (exact for the
+/// trilinear x trilinear integrands of lowest-order elements).
+inline std::array<QuadPoint, 8> gauss8() {
+  const double a = 0.5 - 0.5 / std::sqrt(3.0);
+  const double b = 0.5 + 0.5 / std::sqrt(3.0);
+  std::array<QuadPoint, 8> q;
+  int t = 0;
+  for (double z : {a, b})
+    for (double y : {a, b})
+      for (double x : {a, b}) q[static_cast<std::size_t>(t++)] = {x, y, z, 0.125};
+  return q;
+}
+
+/// Trilinear nodal shape functions and their reference gradients at
+/// (xi, eta, zeta); vertex order matches HexMesh::cell_vertices
+/// (i fastest, then j, then k).
+inline void q1_shapes(double xi, double eta, double zeta,
+                      std::array<double, 8>& phi,
+                      std::array<std::array<double, 3>, 8>& grad) {
+  const double lx[2] = {1.0 - xi, xi}, dx[2] = {-1.0, 1.0};
+  const double ly[2] = {1.0 - eta, eta}, dy[2] = {-1.0, 1.0};
+  const double lz[2] = {1.0 - zeta, zeta}, dz[2] = {-1.0, 1.0};
+  int t = 0;
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 2; ++j)
+      for (int i = 0; i < 2; ++i) {
+        phi[static_cast<std::size_t>(t)] = lx[i] * ly[j] * lz[k];
+        grad[static_cast<std::size_t>(t)] = {dx[i] * ly[j] * lz[k],
+                                             lx[i] * dy[j] * lz[k],
+                                             lx[i] * ly[j] * dz[k]};
+        ++t;
+      }
+}
+
+/// Geometry of one mapped hex at a quadrature point.
+struct ElemGeom {
+  std::array<std::array<double, 3>, 3> J;     ///< Jacobian dX/dxi
+  std::array<std::array<double, 3>, 3> Jinv;  ///< inverse
+  double detJ = 0;
+  std::array<double, 3> x;  ///< physical coordinates of the point
+};
+
+inline ElemGeom map_hex(const std::array<std::array<double, 3>, 8>& coords,
+                        double xi, double eta, double zeta) {
+  std::array<double, 8> phi;
+  std::array<std::array<double, 3>, 8> grad;
+  q1_shapes(xi, eta, zeta, phi, grad);
+  ElemGeom g;
+  for (auto& row : g.J) row = {0, 0, 0};
+  g.x = {0, 0, 0};
+  for (int v = 0; v < 8; ++v)
+    for (int c = 0; c < 3; ++c) {
+      g.x[static_cast<std::size_t>(c)] +=
+          phi[static_cast<std::size_t>(v)] *
+          coords[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)];
+      for (int d = 0; d < 3; ++d)
+        g.J[static_cast<std::size_t>(c)][static_cast<std::size_t>(d)] +=
+            coords[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] *
+            grad[static_cast<std::size_t>(v)][static_cast<std::size_t>(d)];
+    }
+  const auto& J = g.J;
+  g.detJ = J[0][0] * (J[1][1] * J[2][2] - J[1][2] * J[2][1]) -
+           J[0][1] * (J[1][0] * J[2][2] - J[1][2] * J[2][0]) +
+           J[0][2] * (J[1][0] * J[2][1] - J[1][1] * J[2][0]);
+  IRRLU_CHECK_MSG(g.detJ > 0, "inverted element (detJ <= 0)");
+  const double inv = 1.0 / g.detJ;
+  auto cof = [&](int r0, int r1, int c0, int c1) {
+    return J[static_cast<std::size_t>(r0)][static_cast<std::size_t>(c0)] *
+               J[static_cast<std::size_t>(r1)][static_cast<std::size_t>(c1)] -
+           J[static_cast<std::size_t>(r0)][static_cast<std::size_t>(c1)] *
+               J[static_cast<std::size_t>(r1)][static_cast<std::size_t>(c0)];
+  };
+  g.Jinv = {{{cof(1, 2, 1, 2) * inv, -cof(0, 2, 1, 2) * inv,
+              cof(0, 1, 1, 2) * inv},
+             {-cof(1, 2, 0, 2) * inv, cof(0, 2, 0, 2) * inv,
+              -cof(0, 1, 0, 2) * inv},
+             {cof(1, 2, 0, 1) * inv, -cof(0, 2, 0, 1) * inv,
+              cof(0, 1, 0, 1) * inv}}};
+  return g;
+}
+
+}  // namespace irrlu::fem

@@ -1,0 +1,175 @@
+#include "fem/mesh.hpp"
+
+#include <cmath>
+
+namespace irrlu::fem {
+
+HexMesh HexMesh::box(int nx, int ny, int nz) {
+  IRRLU_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  HexMesh m;
+  m.nx_ = nx;
+  m.ny_ = ny;
+  m.nz_ = nz;
+  m.periodic_x_ = false;
+  m.geometry_ = Geometry::kBox;
+  return m;
+}
+
+HexMesh HexMesh::torus(int n_theta, int ny, int nz, double major_radius,
+                       double minor_half_width) {
+  IRRLU_CHECK(n_theta >= 3 && ny >= 1 && nz >= 1);
+  IRRLU_CHECK(major_radius > minor_half_width);
+  HexMesh m;
+  m.nx_ = n_theta;
+  m.ny_ = ny;
+  m.nz_ = nz;
+  m.periodic_x_ = true;
+  m.geometry_ = Geometry::kTorus;
+  m.major_r_ = major_radius;
+  m.minor_hw_ = minor_half_width;
+  return m;
+}
+
+int HexMesh::num_vertices() const { return nvx() * (ny_ + 1) * (nz_ + 1); }
+
+int HexMesh::num_edges() const {
+  return x_edge_count() + y_edge_count() + z_edge_count();
+}
+
+int HexMesh::vertex_id(int i, int j, int k) const {
+  if (periodic_x_) i = (i % nx_ + nx_) % nx_;
+  IRRLU_DEBUG_ASSERT(i >= 0 && i < nvx());
+  IRRLU_DEBUG_ASSERT(j >= 0 && j <= ny_ && k >= 0 && k <= nz_);
+  return (k * (ny_ + 1) + j) * nvx() + i;
+}
+
+std::array<double, 3> HexMesh::vertex_coord(int i, int j, int k) const {
+  const double x = static_cast<double>(i) / nx_;
+  const double y = static_cast<double>(j) / ny_;
+  const double z = static_cast<double>(k) / nz_;
+  if (geometry_ == Geometry::kBox) return {x, y, z};
+  // Torus: bend x around the major circle; (y, z) span the square
+  // cross-section of half-width minor_hw_. The radial coordinate decreases
+  // with y so that the mapping is orientation-preserving (detJ > 0).
+  const double theta = 2.0 * M_PI * x;
+  const double r = major_r_ + (1.0 - 2.0 * y) * minor_hw_;
+  const double h = (2.0 * z - 1.0) * minor_hw_;
+  return {r * std::cos(theta), r * std::sin(theta), h};
+}
+
+std::array<double, 3> HexMesh::vertex_coord(int vid) const {
+  const int i = vid % nvx();
+  const int j = (vid / nvx()) % (ny_ + 1);
+  const int k = vid / (nvx() * (ny_ + 1));
+  return vertex_coord(i, j, k);
+}
+
+int HexMesh::edge_id(int d, int i, int j, int k) const {
+  if (periodic_x_) i = (i % nx_ + nx_) % nx_;
+  switch (d) {
+    case 0:
+      IRRLU_DEBUG_ASSERT(i < nx_ && j <= ny_ && k <= nz_);
+      return (k * (ny_ + 1) + j) * nx_ + i;
+    case 1:
+      IRRLU_DEBUG_ASSERT(i < nvx() && j < ny_ && k <= nz_);
+      return x_edge_count() + (k * ny_ + j) * nvx() + i;
+    default:
+      IRRLU_DEBUG_ASSERT(i < nvx() && j <= ny_ && k < nz_);
+      return x_edge_count() + y_edge_count() + (k * (ny_ + 1) + j) * nvx() +
+             i;
+  }
+}
+
+std::array<int, 4> HexMesh::edge_decode(int eid) const {
+  if (eid < x_edge_count()) {
+    const int i = eid % nx_;
+    const int j = (eid / nx_) % (ny_ + 1);
+    const int k = eid / (nx_ * (ny_ + 1));
+    return {0, i, j, k};
+  }
+  eid -= x_edge_count();
+  if (eid < y_edge_count()) {
+    const int i = eid % nvx();
+    const int j = (eid / nvx()) % ny_;
+    const int k = eid / (nvx() * ny_);
+    return {1, i, j, k};
+  }
+  eid -= y_edge_count();
+  const int i = eid % nvx();
+  const int j = (eid / nvx()) % (ny_ + 1);
+  const int k = eid / (nvx() * (ny_ + 1));
+  return {2, i, j, k};
+}
+
+std::array<int, 12> HexMesh::cell_edges(int ci, int cj, int ck) const {
+  std::array<int, 12> e;
+  int t = 0;
+  // x-edges: transverse offsets over (j, k).
+  for (int dk = 0; dk < 2; ++dk)
+    for (int dj = 0; dj < 2; ++dj)
+      e[static_cast<std::size_t>(t++)] = edge_id(0, ci, cj + dj, ck + dk);
+  // y-edges: transverse offsets over (i, k).
+  for (int dk = 0; dk < 2; ++dk)
+    for (int di = 0; di < 2; ++di)
+      e[static_cast<std::size_t>(t++)] = edge_id(1, ci + di, cj, ck + dk);
+  // z-edges: transverse offsets over (i, j).
+  for (int dj = 0; dj < 2; ++dj)
+    for (int di = 0; di < 2; ++di)
+      e[static_cast<std::size_t>(t++)] = edge_id(2, ci + di, cj + dj, ck);
+  return e;
+}
+
+std::array<int, 8> HexMesh::cell_vertices(int ci, int cj, int ck) const {
+  std::array<int, 8> v;
+  int t = 0;
+  for (int dk = 0; dk < 2; ++dk)
+    for (int dj = 0; dj < 2; ++dj)
+      for (int di = 0; di < 2; ++di)
+        v[static_cast<std::size_t>(t++)] =
+            vertex_id(ci + di, cj + dj, ck + dk);
+  return v;
+}
+
+std::array<std::array<double, 3>, 8> HexMesh::cell_coords(int ci, int cj,
+                                                          int ck) const {
+  std::array<std::array<double, 3>, 8> c;
+  int t = 0;
+  for (int dk = 0; dk < 2; ++dk)
+    for (int dj = 0; dj < 2; ++dj)
+      for (int di = 0; di < 2; ++di) {
+        // For periodic meshes the coordinate must NOT wrap (the cell at the
+        // seam spans theta in [2pi - h, 2pi]).
+        c[static_cast<std::size_t>(t++)] =
+            vertex_coord(ci + di, cj + dj, ck + dk);
+      }
+  return c;
+}
+
+bool HexMesh::vertex_on_boundary(int i, int j, int k) const {
+  if (j == 0 || j == ny_ || k == 0 || k == nz_) return true;
+  if (!periodic_x_ && (i == 0 || i == nx_)) return true;
+  return false;
+}
+
+bool HexMesh::edge_on_boundary(int d, int i, int j, int k) const {
+  switch (d) {
+    case 0:  // spans i..i+1 at (j, k)
+      if (j == 0 || j == ny_ || k == 0 || k == nz_) return true;
+      return false;
+    case 1:  // spans j..j+1 at (i, k)
+      if (k == 0 || k == nz_) return true;
+      if (!periodic_x_ && (i == 0 || i == nx_)) return true;
+      return false;
+    default:  // spans k..k+1 at (i, j)
+      if (j == 0 || j == ny_) return true;
+      if (!periodic_x_ && (i == 0 || i == nx_)) return true;
+      return false;
+  }
+}
+
+bool HexMesh::edge_on_boundary(int eid) const {
+  const auto [d, i, j, k] = edge_decode(eid);
+  return edge_on_boundary(d, i, j, k);
+}
+
+}  // namespace irrlu::fem

@@ -1,0 +1,84 @@
+// Structured hexahedral meshes with optional toroidal geometry — the
+// project's substitute for the paper's MFEM unstructured hex mesh of a
+// torus (Fig. 12). The mesh is logically a structured nx x ny x nz grid;
+// the torus variant bends the x direction around a major circle and
+// identifies the two x-ends (periodic), producing a genuine solid-torus
+// topology with hexahedral cells.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace irrlu::fem {
+
+class HexMesh {
+ public:
+  enum class Geometry { kBox, kTorus };
+
+  /// Unit cube [0,1]^3 split into nx x ny x nz hexes.
+  static HexMesh box(int nx, int ny, int nz);
+
+  /// Solid torus: n_theta cells around the major circle (periodic), with a
+  /// square cross-section of ny x nz cells and the given radii.
+  static HexMesh torus(int n_theta, int ny, int nz, double major_radius = 2.0,
+                       double minor_half_width = 0.5);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  bool periodic_x() const { return periodic_x_; }
+  Geometry geometry() const { return geometry_; }
+
+  int num_vertices() const;
+  int num_edges() const;
+  int num_cells() const { return nx_ * ny_ * nz_; }
+
+  /// Vertex index from lattice coordinates (i wraps when periodic).
+  int vertex_id(int i, int j, int k) const;
+  /// Physical coordinates of a vertex.
+  std::array<double, 3> vertex_coord(int i, int j, int k) const;
+  std::array<double, 3> vertex_coord(int vid) const;
+
+  /// Edge indexing: direction d in {0 = x, 1 = y, 2 = z} plus lattice
+  /// position of the edge's lower endpoint.
+  int edge_id(int d, int i, int j, int k) const;
+
+  /// The 12 edges of cell (ci, cj, ck), ordered: 4 x-edges, 4 y-edges,
+  /// 4 z-edges (within each direction: (0,0), (1,0), (0,1), (1,1) over the
+  /// transverse lattice offsets).
+  std::array<int, 12> cell_edges(int ci, int cj, int ck) const;
+
+  /// The 8 vertices of a cell in lexicographic (i, j, k) order.
+  std::array<int, 8> cell_vertices(int ci, int cj, int ck) const;
+  /// Their physical coordinates.
+  std::array<std::array<double, 3>, 8> cell_coords(int ci, int cj,
+                                                   int ck) const;
+
+  /// True if the edge lies on the domain boundary (where tangential
+  /// Dirichlet conditions are imposed). For the torus there is no boundary
+  /// in the periodic direction.
+  bool edge_on_boundary(int d, int i, int j, int k) const;
+  /// Same, by global edge id.
+  bool edge_on_boundary(int eid) const;
+
+  /// True if the vertex lies on the domain boundary.
+  bool vertex_on_boundary(int i, int j, int k) const;
+
+  /// Decodes a global edge id back to (d, i, j, k).
+  std::array<int, 4> edge_decode(int eid) const;
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  bool periodic_x_ = false;
+  Geometry geometry_ = Geometry::kBox;
+  double major_r_ = 2.0, minor_hw_ = 0.5;
+
+  int nvx() const { return periodic_x_ ? nx_ : nx_ + 1; }  // vertex planes
+  int x_edge_count() const { return nx_ * (ny_ + 1) * (nz_ + 1); }
+  int y_edge_count() const { return nvx() * ny_ * (nz_ + 1); }
+  int z_edge_count() const { return nvx() * (ny_ + 1) * nz_; }
+};
+
+}  // namespace irrlu::fem

@@ -1,0 +1,197 @@
+#include "fem/nedelec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "fem/element.hpp"
+
+namespace irrlu::fem {
+
+namespace {
+
+/// Reference Nédélec basis at (xi, eta, zeta): values and reference curls,
+/// ordered to match HexMesh::cell_edges (4 x-, 4 y-, 4 z-edges; transverse
+/// offsets (0,0), (1,0), (0,1), (1,1)).
+void nedelec_shapes(double xi, double eta, double zeta,
+                    std::array<std::array<double, 3>, 12>& val,
+                    std::array<std::array<double, 3>, 12>& curl) {
+  const double l[2][3] = {{1.0 - xi, 1.0 - eta, 1.0 - zeta},
+                          {xi, eta, zeta}};
+  const double dl[2] = {-1.0, 1.0};
+  int t = 0;
+  // x-edges: N = (l_a(eta) l_b(zeta), 0, 0);
+  // curl = (0, d/dzeta Nx, -d/deta Nx).
+  for (int b = 0; b < 2; ++b)
+    for (int a = 0; a < 2; ++a) {
+      val[static_cast<std::size_t>(t)] = {l[a][1] * l[b][2], 0, 0};
+      curl[static_cast<std::size_t>(t)] = {0, l[a][1] * dl[b],
+                                           -dl[a] * l[b][2]};
+      ++t;
+    }
+  // y-edges: N = (0, l_a(xi) l_b(zeta), 0);
+  // curl = (-d/dzeta Ny, 0, d/dxi Ny).
+  for (int b = 0; b < 2; ++b)
+    for (int a = 0; a < 2; ++a) {
+      val[static_cast<std::size_t>(t)] = {0, l[a][0] * l[b][2], 0};
+      curl[static_cast<std::size_t>(t)] = {-l[a][0] * dl[b], 0,
+                                           dl[a] * l[b][2]};
+      ++t;
+    }
+  // z-edges: N = (0, 0, l_a(xi) l_b(eta));
+  // curl = (d/deta Nz, -d/dxi Nz, 0).
+  for (int b = 0; b < 2; ++b)
+    for (int a = 0; a < 2; ++a) {
+      val[static_cast<std::size_t>(t)] = {0, 0, l[a][0] * l[b][1]};
+      curl[static_cast<std::size_t>(t)] = {l[a][0] * dl[b],
+                                           -dl[a] * l[b][1], 0};
+      ++t;
+    }
+}
+
+std::array<double, 3> mat_vec(const std::array<std::array<double, 3>, 3>& m,
+                              const std::array<double, 3>& v,
+                              bool transpose) {
+  std::array<double, 3> r = {0, 0, 0};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      r[static_cast<std::size_t>(i)] +=
+          (transpose ? m[static_cast<std::size_t>(j)]
+                        [static_cast<std::size_t>(i)]
+                     : m[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(j)]) *
+          v[static_cast<std::size_t>(j)];
+  return r;
+}
+
+double dot3(const std::array<double, 3>& a, const std::array<double, 3>& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+}  // namespace
+
+EdgeSystem assemble_maxwell(const HexMesh& mesh, double omega,
+                            const VectorField& f) {
+  EdgeSystem sys;
+  const int ne = mesh.num_edges();
+  sys.dof_of_edge.assign(static_cast<std::size_t>(ne), -1);
+  for (int e = 0; e < ne; ++e) {
+    if (mesh.edge_on_boundary(e)) continue;
+    sys.dof_of_edge[static_cast<std::size_t>(e)] = sys.num_dofs++;
+    sys.edge_of_dof.push_back(e);
+  }
+  sys.b.assign(static_cast<std::size_t>(sys.num_dofs), 0.0);
+
+  const auto quad = gauss8();
+  std::vector<std::tuple<int, int, double>> tk, tm;
+
+  for (int ck = 0; ck < mesh.nz(); ++ck)
+    for (int cj = 0; cj < mesh.ny(); ++cj)
+      for (int ci = 0; ci < mesh.nx(); ++ci) {
+        const auto edges = mesh.cell_edges(ci, cj, ck);
+        const auto coords = mesh.cell_coords(ci, cj, ck);
+        double ke[12][12] = {}, me[12][12] = {}, fe[12] = {};
+        for (const auto& q : quad) {
+          const ElemGeom geo = map_hex(coords, q.xi, q.eta, q.zeta);
+          std::array<std::array<double, 3>, 12> nref, cref;
+          nedelec_shapes(q.xi, q.eta, q.zeta, nref, cref);
+          // Piola transforms.
+          std::array<std::array<double, 3>, 12> nphys, cphys;
+          for (int a = 0; a < 12; ++a) {
+            nphys[static_cast<std::size_t>(a)] = mat_vec(
+                geo.Jinv, nref[static_cast<std::size_t>(a)], /*T=*/true);
+            cphys[static_cast<std::size_t>(a)] = mat_vec(
+                geo.J, cref[static_cast<std::size_t>(a)], /*T=*/false);
+            for (auto& c : cphys[static_cast<std::size_t>(a)]) c /= geo.detJ;
+          }
+          const double wdet = q.w * geo.detJ;
+          const auto fval = f ? f(geo.x[0], geo.x[1], geo.x[2])
+                              : std::array<double, 3>{0, 0, 0};
+          for (int a = 0; a < 12; ++a) {
+            for (int b = 0; b < 12; ++b) {
+              ke[a][b] += wdet * dot3(cphys[static_cast<std::size_t>(a)],
+                                      cphys[static_cast<std::size_t>(b)]);
+              me[a][b] += wdet * dot3(nphys[static_cast<std::size_t>(a)],
+                                      nphys[static_cast<std::size_t>(b)]);
+            }
+            fe[a] += wdet * dot3(fval, nphys[static_cast<std::size_t>(a)]);
+          }
+        }
+        for (int a = 0; a < 12; ++a) {
+          const int da = sys.dof_of_edge[static_cast<std::size_t>(
+              edges[static_cast<std::size_t>(a)])];
+          if (da < 0) continue;
+          sys.b[static_cast<std::size_t>(da)] += fe[a];
+          for (int b = 0; b < 12; ++b) {
+            const int db = sys.dof_of_edge[static_cast<std::size_t>(
+                edges[static_cast<std::size_t>(b)])];
+            if (db < 0) continue;  // homogeneous tangential Dirichlet
+            tk.emplace_back(da, db, ke[a][b]);
+            tm.emplace_back(da, db, me[a][b]);
+          }
+        }
+      }
+
+  sys.curl = sparse::CsrMatrix::from_triplets(sys.num_dofs, tk);
+  sys.mass = sparse::CsrMatrix::from_triplets(sys.num_dofs, tm);
+  // A = K - omega^2 M (same pattern: subtract values).
+  std::vector<std::tuple<int, int, double>> ta = tk;
+  for (auto& [i, j, v] : tm) ta.emplace_back(i, j, -omega * omega * v);
+  sys.a = sparse::CsrMatrix::from_triplets(sys.num_dofs, ta);
+  return sys;
+}
+
+VectorField paper_maxwell_load(double omega, double kappa) {
+  const double c = kappa * kappa - omega * omega;
+  return [c, kappa](double x1, double x2,
+                    double x3) -> std::array<double, 3> {
+    return {c * std::sin(kappa * x2), c * std::sin(kappa * x3),
+            c * std::sin(kappa * x1)};
+  };
+}
+
+sparse::CsrMatrix discrete_gradient(const HexMesh& mesh,
+                                    const EdgeSystem& sys,
+                                    std::vector<int>& dof_of_vertex) {
+  const int nvx = mesh.periodic_x() ? mesh.nx() : mesh.nx() + 1;
+  dof_of_vertex.assign(static_cast<std::size_t>(mesh.num_vertices()), -1);
+  int nvdof = 0;
+  for (int k = 0; k <= mesh.nz(); ++k)
+    for (int j = 0; j <= mesh.ny(); ++j)
+      for (int i = 0; i < nvx; ++i)
+        if (!mesh.vertex_on_boundary(i, j, k))
+          dof_of_vertex[static_cast<std::size_t>(mesh.vertex_id(i, j, k))] =
+              nvdof++;
+
+  std::vector<std::tuple<int, int, double>> t;
+  for (int d = 0; d < sys.num_dofs; ++d) {
+    const auto [dir, i, j, k] =
+        mesh.edge_decode(sys.edge_of_dof[static_cast<std::size_t>(d)]);
+    const int tail = mesh.vertex_id(i, j, k);
+    const int head = mesh.vertex_id(i + (dir == 0), j + (dir == 1),
+                                    k + (dir == 2));
+    const int dt = dof_of_vertex[static_cast<std::size_t>(tail)];
+    const int dh = dof_of_vertex[static_cast<std::size_t>(head)];
+    if (dh >= 0) t.emplace_back(d, dh, 1.0);
+    if (dt >= 0) t.emplace_back(d, dt, -1.0);
+  }
+  // Rectangular matrix stored as CSR with num_dofs rows; the column space
+  // is the interior-vertex dof set.
+  std::vector<int> ptr(static_cast<std::size_t>(sys.num_dofs) + 1, 0);
+  std::vector<int> ind;
+  std::vector<double> val;
+  std::sort(t.begin(), t.end());
+  std::size_t pos = 0;
+  for (int r = 0; r < sys.num_dofs; ++r) {
+    while (pos < t.size() && std::get<0>(t[pos]) == r) {
+      ind.push_back(std::get<1>(t[pos]));
+      val.push_back(std::get<2>(t[pos]));
+      ++pos;
+    }
+    ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(ind.size());
+  }
+  return sparse::CsrMatrix(sys.num_dofs, std::move(ptr), std::move(ind),
+                           std::move(val));
+}
+
+}  // namespace irrlu::fem

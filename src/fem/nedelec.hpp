@@ -1,0 +1,54 @@
+// Lowest-order Nédélec (edge) elements on hexahedral meshes and the
+// indefinite Maxwell assembly of the paper's §V-B:
+//     curl curl E - Omega^2 E = f,
+// discretized in the weak form (curl E, curl E') - Omega^2 (E, E') =
+// (f, E') with tangential Dirichlet conditions on the boundary. For large
+// Omega the system is highly indefinite and hard to precondition — the
+// motivating workload for the sparse direct solver.
+//
+// H(curl) conformity uses the covariant Piola transform: basis functions
+// map as N = J^{-T} N_ref and curls as curl N = J curl_ref N / det J; edge
+// degrees of freedom are tangential circulations, shared consistently
+// between neighboring hexes.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "fem/mesh.hpp"
+#include "sparse/csr.hpp"
+
+namespace irrlu::fem {
+
+using VectorField =
+    std::function<std::array<double, 3>(double, double, double)>;
+
+struct EdgeSystem {
+  sparse::CsrMatrix a;     ///< curl-curl - omega^2 * mass (interior edges)
+  sparse::CsrMatrix curl;  ///< curl-curl part alone
+  sparse::CsrMatrix mass;  ///< mass part alone
+  std::vector<double> b;   ///< load vector
+  std::vector<int> dof_of_edge;  ///< -1 for boundary (Dirichlet) edges
+  std::vector<int> edge_of_dof;
+  int num_dofs = 0;
+};
+
+/// Assembles the indefinite Maxwell system for wavenumber omega and load f.
+EdgeSystem assemble_maxwell(const HexMesh& mesh, double omega,
+                            const VectorField& f);
+
+/// The paper's boundary/source field:
+/// f(x) = (kappa^2 - omega^2) * (sin(kappa x2), sin(kappa x3),
+/// sin(kappa x1)); the paper uses kappa = omega / 1.05.
+VectorField paper_maxwell_load(double omega, double kappa);
+
+/// Discrete gradient on interior dofs: maps interior-vertex values to edge
+/// circulations, (G p)_e = p(head) - p(tail); entries for boundary
+/// vertices are dropped. The exact-sequence property curl o grad = 0 makes
+/// `curl * G == 0`, a strong structural test of the assembly.
+sparse::CsrMatrix discrete_gradient(const HexMesh& mesh,
+                                    const EdgeSystem& sys,
+                                    std::vector<int>& dof_of_vertex);
+
+}  // namespace irrlu::fem

@@ -1,0 +1,109 @@
+#include "fem/nodal.hpp"
+
+#include <array>
+#include <tuple>
+
+#include "fem/element.hpp"
+
+namespace irrlu::fem {
+
+NodalSystem assemble_poisson(const HexMesh& mesh, double shift,
+                             const ScalarField& f, const ScalarField* g) {
+  NodalSystem sys;
+  const int nv = mesh.num_vertices();
+  sys.dof_of_vertex.assign(static_cast<std::size_t>(nv), -1);
+
+  // Number interior vertices.
+  const int nvx = mesh.periodic_x() ? mesh.nx() : mesh.nx() + 1;
+  for (int k = 0; k <= mesh.nz(); ++k)
+    for (int j = 0; j <= mesh.ny(); ++j)
+      for (int i = 0; i < nvx; ++i) {
+        if (mesh.vertex_on_boundary(i, j, k)) continue;
+        const int vid = mesh.vertex_id(i, j, k);
+        sys.dof_of_vertex[static_cast<std::size_t>(vid)] = sys.num_dofs++;
+        sys.vertex_of_dof.push_back(vid);
+      }
+  sys.b.assign(static_cast<std::size_t>(sys.num_dofs), 0.0);
+
+  const auto quad = gauss8();
+  std::vector<std::tuple<int, int, double>> triplets;
+
+  for (int ck = 0; ck < mesh.nz(); ++ck)
+    for (int cj = 0; cj < mesh.ny(); ++cj)
+      for (int ci = 0; ci < mesh.nx(); ++ci) {
+        const auto verts = mesh.cell_vertices(ci, cj, ck);
+        const auto coords = mesh.cell_coords(ci, cj, ck);
+        double ke[8][8] = {};
+        double fe[8] = {};
+        for (const auto& q : quad) {
+          const ElemGeom geo = map_hex(coords, q.xi, q.eta, q.zeta);
+          std::array<double, 8> phi;
+          std::array<std::array<double, 3>, 8> gref;
+          q1_shapes(q.xi, q.eta, q.zeta, phi, gref);
+          // Physical gradients: g_phys = Jinv^T * g_ref.
+          std::array<std::array<double, 3>, 8> gphys;
+          for (int v = 0; v < 8; ++v)
+            for (int c = 0; c < 3; ++c) {
+              double acc = 0;
+              for (int d = 0; d < 3; ++d)
+                acc += geo.Jinv[static_cast<std::size_t>(d)]
+                               [static_cast<std::size_t>(c)] *
+                       gref[static_cast<std::size_t>(v)]
+                           [static_cast<std::size_t>(d)];
+              gphys[static_cast<std::size_t>(v)]
+                   [static_cast<std::size_t>(c)] = acc;
+            }
+          const double wdet = q.w * geo.detJ;
+          const double fval =
+              f ? f(geo.x[0], geo.x[1], geo.x[2]) : 0.0;
+          for (int a = 0; a < 8; ++a) {
+            for (int b = 0; b < 8; ++b) {
+              double grad = 0;
+              for (int c = 0; c < 3; ++c)
+                grad += gphys[static_cast<std::size_t>(a)]
+                             [static_cast<std::size_t>(c)] *
+                        gphys[static_cast<std::size_t>(b)]
+                             [static_cast<std::size_t>(c)];
+              ke[a][b] += wdet * (grad - shift *
+                                             phi[static_cast<std::size_t>(a)] *
+                                             phi[static_cast<std::size_t>(b)]);
+            }
+            fe[a] += wdet * fval * phi[static_cast<std::size_t>(a)];
+          }
+        }
+        // Scatter with Dirichlet elimination (and lift for nonzero g).
+        for (int a = 0; a < 8; ++a) {
+          const int da = sys.dof_of_vertex[static_cast<std::size_t>(
+              verts[static_cast<std::size_t>(a)])];
+          if (da < 0) continue;
+          sys.b[static_cast<std::size_t>(da)] += fe[a];
+          for (int b = 0; b < 8; ++b) {
+            const int vb = verts[static_cast<std::size_t>(b)];
+            const int db = sys.dof_of_vertex[static_cast<std::size_t>(vb)];
+            if (db >= 0) {
+              triplets.emplace_back(da, db, ke[a][b]);
+            } else if (g != nullptr) {
+              const auto c = mesh.vertex_coord(vb);
+              sys.b[static_cast<std::size_t>(da)] -=
+                  ke[a][b] * (*g)(c[0], c[1], c[2]);
+            }
+          }
+        }
+      }
+  sys.a = sparse::CsrMatrix::from_triplets(sys.num_dofs, triplets);
+  return sys;
+}
+
+double nodal_max_error(const HexMesh& mesh, const NodalSystem& sys,
+                       const std::vector<double>& u_h, const ScalarField& u) {
+  double err = 0;
+  for (int d = 0; d < sys.num_dofs; ++d) {
+    const auto c = mesh.vertex_coord(
+        sys.vertex_of_dof[static_cast<std::size_t>(d)]);
+    err = std::max(err, std::abs(u_h[static_cast<std::size_t>(d)] -
+                                 u(c[0], c[1], c[2])));
+  }
+  return err;
+}
+
+}  // namespace irrlu::fem

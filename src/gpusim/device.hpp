@@ -1,0 +1,289 @@
+// The simulated device runtime: streams, kernel launches over grids of
+// thread blocks, per-block shared-memory arenas with hardware capacity
+// limits, a device-memory arena with peak tracking, and a simulated-time
+// scheduler.
+//
+// Kernels are written exactly as GPU kernels are structured: a grid of
+// independent blocks; each block stages data through shared memory and
+// records the work it performed (flops + bytes of global-memory traffic).
+// The numerics execute for real on the host, so every kernel is testable
+// bit-for-bit; the recorded work drives the DeviceModel's timing.
+//
+// Scheduling semantics (mirroring CUDA/HIP):
+//  - launches within one stream execute in order;
+//  - launches in different streams may overlap on the device, but every
+//    launch pays a host-side dispatch cost on a single host timeline
+//    (one CPU thread performs all launches, as in the paper's baseline);
+//  - blocks of a kernel are list-scheduled onto SM slots; the number of
+//    co-resident blocks per SM is limited by shared-memory use;
+//  - synchronize() joins a stream's timeline back into the host timeline.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/device_model.hpp"
+
+namespace irrlu::gpusim {
+
+class Device;
+
+/// Per-block execution context handed to kernel bodies.
+class BlockCtx {
+ public:
+  /// Linear block index within the launch grid.
+  int block() const { return block_; }
+
+  /// Allocates `count` elements of shared memory; contents are
+  /// uninitialized, lifetime ends with the block. Throws if the kernel's
+  /// declared shared-memory budget is exceeded (the simulated analogue of a
+  /// launch failure).
+  template <typename T>
+  T* smem_alloc(std::size_t count) {
+    constexpr std::size_t align = alignof(std::max_align_t);
+    std::size_t offset = (smem_used_ + align - 1) / align * align;
+    std::size_t bytes = count * sizeof(T);
+    IRRLU_CHECK_MSG(offset + bytes <= smem_capacity_,
+                    "shared memory overflow: kernel declared "
+                        << smem_capacity_ << " B, block needs >= "
+                        << offset + bytes << " B");
+    smem_used_ = offset + bytes;
+    return reinterpret_cast<T*>(smem_base_ + offset);
+  }
+
+  /// Records work performed by this block: floating-point operations and
+  /// global-memory traffic in bytes. May be called multiple times.
+  void record(double flops, double bytes) {
+    flops_ += flops;
+    bytes_ += bytes;
+  }
+
+  std::size_t smem_capacity() const { return smem_capacity_; }
+
+ private:
+  friend class Device;
+  int block_ = 0;
+  char* smem_base_ = nullptr;
+  std::size_t smem_capacity_ = 0;
+  std::size_t smem_used_ = 0;
+  double flops_ = 0;
+  double bytes_ = 0;
+};
+
+/// An in-order execution queue on the device (CUDA stream analogue).
+class Stream {
+ public:
+  /// Simulated time at which all work enqueued so far completes.
+  double completion_time() const { return cursor_; }
+
+ private:
+  friend class Device;
+  explicit Stream(int id) : id_(id) {}
+  int id_;
+  double cursor_ = 0.0;
+};
+
+/// A recorded point on a stream's timeline (cudaEvent analogue). Obtained
+/// from Device::record(); other streams can wait on it, establishing
+/// cross-stream ordering without host synchronization.
+class Event {
+ public:
+  Event() = default;
+  double time() const { return time_; }
+
+ private:
+  friend class Device;
+  explicit Event(double t) : time_(t) {}
+  double time_ = 0.0;
+};
+
+/// Launch configuration for one kernel.
+struct LaunchConfig {
+  const char* name;            ///< kernel name, for profiling
+  int blocks = 1;              ///< grid size (linearized)
+  std::size_t smem_bytes = 0;  ///< declared shared memory per block
+};
+
+/// Aggregated per-kernel-name statistics over the device's lifetime.
+struct KernelStats {
+  long launches = 0;
+  long blocks = 0;
+  double flops = 0;
+  double bytes = 0;
+  double sim_seconds = 0;  ///< sum over launches of (end - start)
+};
+
+/// RAII device memory. The backing store is host memory; the arena tracks
+/// current and peak usage so the multifrontal code can budget subtrees.
+template <typename T>
+class DeviceBuffer;
+
+class Device {
+ public:
+  explicit Device(DeviceModel model);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceModel& model() const { return model_; }
+
+  /// Returns stream `i`, creating streams [0..i] on first use.
+  Stream& stream(int i = 0);
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  /// Launches a kernel: executes `body(BlockCtx&)` for every block in the
+  /// grid (real computation, sequential on the host) and advances the
+  /// simulated timeline per the DeviceModel.
+  template <typename Body>
+  void launch(Stream& s, const LaunchConfig& cfg, Body&& body) {
+    IRRLU_CHECK_MSG(cfg.blocks >= 0, "negative grid size");
+    IRRLU_CHECK_MSG(cfg.smem_bytes <= model_.shared_mem_per_block,
+                    "kernel '" << cfg.name << "' declares " << cfg.smem_bytes
+                               << " B shared memory; device limit is "
+                               << model_.shared_mem_per_block << " B");
+    begin_launch(cfg);
+    block_costs_.clear();
+    block_costs_.reserve(static_cast<std::size_t>(cfg.blocks));
+    for (int b = 0; b < cfg.blocks; ++b) {
+      BlockCtx ctx;
+      ctx.block_ = b;
+      ctx.smem_base_ = smem_arena_.data();
+      ctx.smem_capacity_ = cfg.smem_bytes;
+      body(ctx);
+      block_costs_.push_back({ctx.flops_, ctx.bytes_});
+      total_flops_ += ctx.flops_;
+      total_bytes_ += ctx.bytes_;
+      launch_flops_ += ctx.flops_;
+      launch_bytes_ += ctx.bytes_;
+    }
+    end_launch(s, cfg);
+  }
+
+  /// Records the completion point of all work enqueued on `s` so far.
+  Event record(Stream& s);
+  /// Makes future work on `s` start no earlier than `e` (device-side
+  /// dependency; does not block the host).
+  void wait(Stream& s, const Event& e);
+
+  /// Host blocks until stream `s` completes; advances host time.
+  void synchronize(Stream& s);
+  /// Host blocks until the whole device is idle. Returns the simulated time.
+  double synchronize_all();
+
+  /// Current simulated host time (seconds since reset).
+  double host_time() const { return host_time_; }
+  /// Resets all timelines and profiling (memory contents are untouched).
+  void reset_timeline();
+
+  long launch_count() const { return launch_count_; }
+  long sync_count() const { return sync_count_; }
+  /// Total simulated host seconds spent inside synchronize() calls.
+  double sync_wait_seconds() const { return sync_wait_seconds_; }
+  double total_flops() const { return total_flops_; }
+  double total_bytes() const { return total_bytes_; }
+
+  const std::map<std::string, KernelStats>& profile() const {
+    return profile_;
+  }
+
+  /// Allocates device memory (tracked; freed via DeviceBuffer RAII).
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t count);
+
+  std::size_t bytes_in_use() const { return bytes_in_use_; }
+  std::size_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+
+  void begin_launch(const LaunchConfig& cfg);
+  void end_launch(Stream& s, const LaunchConfig& cfg);
+
+  void* raw_alloc(std::size_t bytes);
+  void raw_free(void* p, std::size_t bytes);
+
+  DeviceModel model_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<char> smem_arena_;
+
+  // --- simulated timelines ---
+  double host_time_ = 0.0;
+  std::vector<double> slot_free_;  ///< num_sms * max_blocks_per_sm SM slots
+  std::vector<std::pair<double, double>> block_costs_;  ///< (flops, bytes)
+  double launch_flops_ = 0, launch_bytes_ = 0;
+
+  // --- accounting ---
+  long launch_count_ = 0;
+  long sync_count_ = 0;
+  double sync_wait_seconds_ = 0;
+  double total_flops_ = 0, total_bytes_ = 0;
+  std::map<std::string, KernelStats> profile_;
+
+  std::size_t bytes_in_use_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      dev_ = o.dev_;
+      data_ = o.data_;
+      count_ = o.count_;
+      o.dev_ = nullptr;
+      o.data_ = nullptr;
+      o.count_ = 0;
+    }
+    return *this;
+  }
+
+  T* data() const { return data_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  T& operator[](std::size_t i) const {
+    IRRLU_DEBUG_ASSERT(i < count_);
+    return data_[i];
+  }
+
+  void release() {
+    if (dev_ && data_) {
+      dev_->raw_free(data_, count_ * sizeof(T));
+      data_ = nullptr;
+      count_ = 0;
+      dev_ = nullptr;
+    }
+  }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* dev, T* data, std::size_t count)
+      : dev_(dev), data_(data), count_(count) {}
+
+  Device* dev_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+template <typename T>
+DeviceBuffer<T> Device::alloc(std::size_t count) {
+  T* p = static_cast<T*>(raw_alloc(count * sizeof(T)));
+  return DeviceBuffer<T>(this, p, count);
+}
+
+}  // namespace irrlu::gpusim

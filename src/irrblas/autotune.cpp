@@ -1,0 +1,53 @@
+#include "irrblas/autotune.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+
+namespace irrlu::batch {
+
+AutotuneResult autotune_panel_width(const gpusim::DeviceModel& model,
+                                    const std::vector<int>& sizes,
+                                    int sample, std::vector<int> candidates) {
+  AutotuneResult out;
+  out.candidates = candidates;
+  IRRLU_CHECK(!sizes.empty() && !candidates.empty());
+
+  // Sample the size distribution (with replacement, deterministic seed so
+  // every candidate sees the same workload).
+  Rng rng(0xa1b2c3);
+  const int count =
+      std::min<int>(sample, static_cast<int>(sizes.size()));
+  std::vector<int> sampled(static_cast<std::size_t>(count));
+  for (auto& v : sampled)
+    v = sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(sizes.size()) - 1))];
+  const int nmax = *std::max_element(sampled.begin(), sampled.end());
+
+  double best = 0;
+  for (int nb : candidates) {
+    // Fresh scratch device per candidate: clean timeline, same model.
+    gpusim::Device dev(model);
+    VBatch<double> a(dev, sampled);
+    Rng fill(7);
+    a.fill_uniform(fill);
+    PivotBatch piv(dev, sampled, sampled);
+    IrrLuOptions opts;
+    opts.nb = nb;
+    dev.reset_timeline();
+    irr_getrf<double>(dev, dev.stream(), nmax, nmax, a.ptrs(), a.lda(), 0,
+                      0, a.m_vec(), a.n_vec(), piv.ptrs(), piv.info(), count,
+                      opts);
+    const double t = dev.synchronize_all();
+    out.seconds.push_back(t);
+    if (out.seconds.size() == 1 || t < best) {
+      best = t;
+      out.nb = nb;
+    }
+  }
+  return out;
+}
+
+}  // namespace irrlu::batch

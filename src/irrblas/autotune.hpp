@@ -1,0 +1,34 @@
+// Auto-tuning for irregular batches (the paper's §VI research direction:
+// "find robust auto-tuning techniques based on the distributions of sizes
+// in a single batch" — classical tuners take a single problem size, which
+// does not exist here).
+//
+// The tuner exploits the simulator: it factors a small random *sample* of
+// the batch (same size distribution) under each candidate panel width on a
+// scratch timeline and returns the width with the smallest simulated time.
+// On real hardware the same scheme would run timed warm-up batches.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace irrlu::batch {
+
+struct AutotuneResult {
+  int nb = 32;                     ///< winning panel width
+  std::vector<int> candidates;    ///< widths tried
+  std::vector<double> seconds;    ///< simulated seconds per candidate
+};
+
+/// Picks the LU panel width for a batch with the given square sizes on the
+/// given device model. `sample` bounds the number of matrices factored per
+/// candidate (sampled uniformly from `sizes`); candidates default to
+/// {8, 16, 32, 64}.
+AutotuneResult autotune_panel_width(const gpusim::DeviceModel& model,
+                                    const std::vector<int>& sizes,
+                                    int sample = 64,
+                                    std::vector<int> candidates = {8, 16, 32,
+                                                                   64});
+
+}  // namespace irrlu::batch

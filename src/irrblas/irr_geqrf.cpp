@@ -1,0 +1,190 @@
+// irrQR (the paper's §VI future work, implemented): blocked Householder QR
+// on a non-uniform batch, built from the same two design concepts as
+// irrLU-GPU — the offset-carrying interface and DCWI.
+//
+// Per panel: a fused kernel factors the panel in shared memory (GEQR2),
+// forms the compact-WY T factor there, and exports the unit-lower
+// reflector block V (zero-padded to the fixed panel width) into a
+// workspace; the trailing update Q^T C = C - V T^T (V^T C) then runs as
+// three irrGEMM calls whose DCWI clamps retire matrices automatically.
+// Zero-padding V and T makes the fixed required panel width numerically
+// inert for matrices whose local panel is narrower.
+#include <algorithm>
+
+#include "irrblas/dcwi.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "lapack/qr.hpp"
+
+namespace irrlu::batch {
+
+namespace {
+
+/// Fused panel QR: one block per matrix. Stages the (rows x cols) panel,
+/// runs GEQR2 + LARFT in shared memory, writes back the panel (R on/above
+/// the diagonal, reflectors below), tau, the zero-padded T factor, and the
+/// masked reflector block V into the workspace rows [Ai, Ai+rows).
+template <typename T>
+void geqr2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m, int jb,
+                 T* const* dA_array, const int* ldda, int Ai, int Aj,
+                 const int* m_vec, const int* n_vec, T* const* tau_array,
+                 T* const* dV_array, int ldv, T* const* dT_array,
+                 int batch_size) {
+  std::size_t smem = static_cast<std::size_t>(m) * jb * sizeof(T) +
+                     static_cast<std::size_t>(jb) * jb * sizeof(T) +
+                     2 * static_cast<std::size_t>(jb) * sizeof(T) + 64;
+  // Tall panels beyond the shared-memory budget run in global memory
+  // (keeping T/tau/work staging only), at a traffic premium.
+  const bool staged = smem <= dev.model().shared_mem_per_block;
+  if (!staged)
+    smem = static_cast<std::size_t>(jb) * jb * sizeof(T) +
+           2 * static_cast<std::size_t>(jb) * sizeof(T) + 64;
+  dev.launch(stream, {staged ? "irr_geqr2_fused" : "irr_geqr2_global",
+                      batch_size, smem},
+             [=](gpusim::BlockCtx& ctx) {
+    const int id = ctx.block();
+    const int rows = dcwi_clamp(m, m_vec[id], Ai);
+    const int cols = dcwi_clamp(jb, n_vec[id], Aj);
+    // Zero T and the V rows this panel owns, even when the local panel is
+    // empty — stale data must never leak into the update GEMMs.
+    T* Tw = dT_array[id];
+    for (int c = 0; c < jb; ++c)
+      for (int r = 0; r < jb; ++r)
+        Tw[static_cast<std::ptrdiff_t>(c) * jb + r] = T{};
+    T* V = dV_array[id];
+    if (rows > 0)
+      for (int c = 0; c < jb; ++c)
+        for (int r = 0; r < rows; ++r)
+          V[static_cast<std::ptrdiff_t>(c) * ldv + Ai + r] = T{};
+    if (rows <= 0 || cols <= 0) return;
+
+    const int lda = ldda[id];
+    T* A = dA_array[id] + static_cast<std::ptrdiff_t>(Aj) * lda + Ai;
+    T* st = ctx.smem_alloc<T>(static_cast<std::size_t>(jb) * jb);
+    T* stau = ctx.smem_alloc<T>(static_cast<std::size_t>(jb));
+    T* work = ctx.smem_alloc<T>(static_cast<std::size_t>(jb));
+
+    T* p;      // where the panel is factored
+    int ldp;
+    if (staged) {
+      p = ctx.smem_alloc<T>(static_cast<std::size_t>(rows) * cols);
+      ldp = rows;
+      for (int c = 0; c < cols; ++c)
+        for (int r = 0; r < rows; ++r)
+          p[static_cast<std::ptrdiff_t>(c) * rows + r] =
+              A[static_cast<std::ptrdiff_t>(c) * lda + r];
+    } else {
+      p = A;
+      ldp = lda;
+    }
+
+    const int k = std::min(rows, cols);
+    la::geqr2(rows, cols, p, ldp, stau, work);
+    la::larft(rows, k, p, ldp, stau, st, jb);
+
+    if (staged)
+      for (int c = 0; c < cols; ++c)
+        for (int r = 0; r < rows; ++r)
+          A[static_cast<std::ptrdiff_t>(c) * lda + r] =
+              p[static_cast<std::ptrdiff_t>(c) * rows + r];
+    for (int c = 0; c < k; ++c) tau_array[id][Aj + c] = stau[c];
+    for (int c = 0; c < k; ++c)
+      for (int r = 0; r <= c; ++r)
+        Tw[static_cast<std::ptrdiff_t>(c) * jb + r] =
+            st[static_cast<std::ptrdiff_t>(c) * jb + r];
+    // Masked V: unit diagonal, reflectors below, zeros above (the zeroing
+    // pass above already cleared everything).
+    for (int c = 0; c < k; ++c) {
+      V[static_cast<std::ptrdiff_t>(c) * ldv + Ai + c] = T(1);
+      for (int r = c + 1; r < rows; ++r)
+        V[static_cast<std::ptrdiff_t>(c) * ldv + Ai + r] =
+            p[static_cast<std::ptrdiff_t>(c) * ldp + r];
+    }
+    // Staged: one read + one write of the panel plus the V export;
+    // global: GEQR2 touches the trailing subpanel once per column.
+    ctx.record(
+        la::geqrf_flops(rows, cols) + static_cast<double>(k) * k * rows,
+        staged ? (3.0 * rows * cols + 1.0 * rows * jb) * sizeof(T)
+               : (1.0 * rows * cols * (1.0 + cols / 2.0) + rows * jb) *
+                     sizeof(T));
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void irr_geqrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
+               T* const* dA_array, const int* ldda, const int* m_vec,
+               const int* n_vec, T* const* tau_array, int batch_size,
+               int nb) {
+  if (batch_size <= 0) return;
+  const int kmax = std::min(m, n);
+  if (kmax <= 0) return;
+  nb = std::max(1, nb);
+
+  // Workspaces (fixed pointers for the whole factorization): V (m x nb per
+  // matrix), T (nb x nb), W1/W2 (nb x n).
+  const auto bs = static_cast<std::size_t>(batch_size);
+  auto vbuf = dev.alloc<T>(bs * static_cast<std::size_t>(m) * nb);
+  auto tbuf = dev.alloc<T>(bs * static_cast<std::size_t>(nb) * nb);
+  auto w1buf = dev.alloc<T>(bs * static_cast<std::size_t>(nb) * n);
+  auto w2buf = dev.alloc<T>(bs * static_cast<std::size_t>(nb) * n);
+  auto vptr = dev.alloc<T*>(bs);
+  auto tptr = dev.alloc<T*>(bs);
+  auto w1ptr = dev.alloc<T*>(bs);
+  auto w2ptr = dev.alloc<T*>(bs);
+  auto ld_nb = dev.alloc<int>(bs);
+  auto ld_v = dev.alloc<int>(bs);
+  auto vec_nb = dev.alloc<int>(bs);
+  auto vec_n = dev.alloc<int>(bs);
+  for (std::size_t i = 0; i < bs; ++i) {
+    vptr[i] = vbuf.data() + i * static_cast<std::size_t>(m) * nb;
+    tptr[i] = tbuf.data() + i * static_cast<std::size_t>(nb) * nb;
+    w1ptr[i] = w1buf.data() + i * static_cast<std::size_t>(nb) * n;
+    w2ptr[i] = w2buf.data() + i * static_cast<std::size_t>(nb) * n;
+    ld_nb[i] = nb;
+    ld_v[i] = m;
+    vec_nb[i] = nb;
+    vec_n[i] = n;
+  }
+
+  for (int j = 0; j < kmax; j += nb) {
+    const int jb = std::min(nb, kmax - j);
+    geqr2_fused<T>(dev, stream, m - j, jb, dA_array, ldda, j, j, m_vec,
+                   n_vec, tau_array, vptr.data(), m, tptr.data(),
+                   batch_size);
+    if (j + jb >= n) continue;
+    const int nrest = n - j - jb;
+    // W1 = V^T C  (rows of V clamp at m_loc via the k offset j).
+    irr_gemm<T>(dev, stream, la::Trans::Yes, la::Trans::No, jb, nrest, m - j,
+                T(1), const_cast<T const* const*>(vptr.data()), ld_v.data(),
+                j, 0, const_cast<T const* const*>(dA_array), ldda, j, j + jb,
+                T(0), w1ptr.data(), ld_nb.data(), 0, 0, vec_nb.data(), n_vec,
+                m_vec, batch_size);
+    // W2 = T^T W1.
+    irr_gemm<T>(dev, stream, la::Trans::Yes, la::Trans::No, jb, nrest, jb,
+                T(1), const_cast<T const* const*>(tptr.data()), ld_nb.data(),
+                0, 0, const_cast<T const* const*>(w1ptr.data()),
+                ld_nb.data(), 0, 0, T(0), w2ptr.data(), ld_nb.data(), 0, 0,
+                vec_nb.data(), vec_n.data(), vec_nb.data(), batch_size);
+    // C -= V W2.
+    irr_gemm<T>(dev, stream, la::Trans::No, la::Trans::No, m - j, nrest, jb,
+                T(-1), const_cast<T const* const*>(vptr.data()), ld_v.data(),
+                j, 0, const_cast<T const* const*>(w2ptr.data()),
+                ld_nb.data(), 0, 0, T(1), dA_array, ldda, j, j + jb,
+                m_vec, n_vec, vec_nb.data(), batch_size);
+  }
+  // Workspace lifetime (as in irr_getrf's self-allocating mode).
+  dev.synchronize(stream);
+}
+
+#define IRRLU_INSTANTIATE_GEQRF(T)                                         \
+  template void irr_geqrf<T>(gpusim::Device&, gpusim::Stream&, int, int,   \
+                             T* const*, const int*, const int*,            \
+                             const int*, T* const*, int, int);
+
+IRRLU_INSTANTIATE_GEQRF(float)
+IRRLU_INSTANTIATE_GEQRF(double)
+
+#undef IRRLU_INSTANTIATE_GEQRF
+
+}  // namespace irrlu::batch

@@ -1,0 +1,91 @@
+// irr_getrs: batched triangular solves with the LU factors over a
+// non-uniform batch. Exactly mirrors LAPACK xGETRS:
+//   NoTrans:  B <- U^{-1} L^{-1} P B
+//   Trans:    B <- P^T L^{-T} U^{-T} B
+// with P the per-matrix row interchanges recorded by irr_getrf.
+#include "irrblas/irr_kernels.hpp"
+
+#include <algorithm>
+#include <complex>
+
+#include "lapack/blas.hpp"
+
+namespace irrlu::batch {
+
+namespace {
+
+/// Applies the pivots to B — forward or backward — with per-matrix extents.
+template <typename T>
+void pivot_rows(gpusim::Device& dev, gpusim::Stream& stream, int n, int nrhs,
+                const int* n_vec, int const* const* ipiv_array,
+                T* const* dB_array, const int* lddb, const int* nrhs_vec,
+                int batch_size, bool forward) {
+  (void)n;
+  (void)nrhs;
+  dev.launch(stream, {"irr_getrs_pivot", batch_size, 0},
+             [=](gpusim::BlockCtx& ctx) {
+    const int id = ctx.block();
+    const int rows = n_vec[id];
+    const int width = nrhs_vec[id];
+    if (rows <= 0 || width <= 0) return;
+    const int ldb = lddb[id];
+    T* B = dB_array[id];
+    double swaps = 0;
+    auto do_swap = [&](int r) {
+      const int p = ipiv_array[id][r];
+      if (p != r) {
+        la::swap(width, B + r, ldb, B + p, ldb);
+        swaps += 1;
+      }
+    };
+    if (forward)
+      for (int r = 0; r < rows; ++r) do_swap(r);
+    else
+      for (int r = rows - 1; r >= 0; --r) do_swap(r);
+    ctx.record(0.0, swaps * 4.0 * width * (64.0 / sizeof(T)) * sizeof(T));
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void irr_getrs(gpusim::Device& dev, gpusim::Stream& stream, la::Trans trans,
+               int n, int nrhs, T const* const* dA_array, const int* ldda,
+               const int* n_vec, int const* const* ipiv_array,
+               T* const* dB_array, const int* lddb, const int* nrhs_vec,
+               int batch_size) {
+  if (batch_size <= 0 || n <= 0 || nrhs <= 0) return;
+  if (trans == la::Trans::No) {
+    pivot_rows<T>(dev, stream, n, nrhs, n_vec, ipiv_array, dB_array, lddb,
+                  nrhs_vec, batch_size, /*forward=*/true);
+    irr_trsm<T>(dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                la::Diag::Unit, n, nrhs, T(1), dA_array, ldda, 0, 0,
+                dB_array, lddb, 0, 0, n_vec, nrhs_vec, batch_size);
+    irr_trsm<T>(dev, stream, la::Side::Left, la::Uplo::Upper, la::Trans::No,
+                la::Diag::NonUnit, n, nrhs, T(1), dA_array, ldda, 0, 0,
+                dB_array, lddb, 0, 0, n_vec, nrhs_vec, batch_size);
+  } else {
+    irr_trsm<T>(dev, stream, la::Side::Left, la::Uplo::Upper, la::Trans::Yes,
+                la::Diag::NonUnit, n, nrhs, T(1), dA_array, ldda, 0, 0,
+                dB_array, lddb, 0, 0, n_vec, nrhs_vec, batch_size);
+    irr_trsm<T>(dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::Yes,
+                la::Diag::Unit, n, nrhs, T(1), dA_array, ldda, 0, 0,
+                dB_array, lddb, 0, 0, n_vec, nrhs_vec, batch_size);
+    pivot_rows<T>(dev, stream, n, nrhs, n_vec, ipiv_array, dB_array, lddb,
+                  nrhs_vec, batch_size, /*forward=*/false);
+  }
+}
+
+#define IRRLU_INSTANTIATE_GETRS(T)                                          \
+  template void irr_getrs<T>(gpusim::Device&, gpusim::Stream&, la::Trans,   \
+                             int, int, T const* const*, const int*,         \
+                             const int*, int const* const*, T* const*,      \
+                             const int*, const int*, int);
+
+IRRLU_INSTANTIATE_GETRS(float)
+IRRLU_INSTANTIATE_GETRS(double)
+IRRLU_INSTANTIATE_GETRS(std::complex<double>)
+
+#undef IRRLU_INSTANTIATE_GETRS
+
+}  // namespace irrlu::batch

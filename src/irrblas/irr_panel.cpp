@@ -1,0 +1,179 @@
+// Panel decomposition (paper §IV-E): the fused shared-memory kernel
+// irrGETF2 and the column-wise fallback path (irrIAMAX + irrSWAP + irrSCAL
+// + irrGER, four kernel launches per column).
+//
+// The fused kernel is used whenever the *estimated* largest panel fits the
+// device's shared memory; the estimate assumes all panels share the fixed
+// width nb, so the estimated footprint is nb x (Mmax - j) elements. A GPU
+// with a small shared memory (MI100's 64 KB LDS) falls back to the slow
+// column-wise path much earlier than one with a large shared memory
+// (A100's 164 KB per block) — the architectural effect the paper calls out.
+#include <algorithm>
+#include <complex>
+#include <cmath>
+
+#include "irrblas/dcwi.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "lapack/blas.hpp"
+#include "lapack/flops.hpp"
+#include "lapack/lapack.hpp"
+
+namespace irrlu::batch {
+
+namespace {
+
+/// Effective panel of matrix `id` at offsets (Ai, Aj): `rows` x `cols` is
+/// the full panel block (columns run to the matrix edge within the panel
+/// range, so that a wide matrix's trailing columns inside the panel get the
+/// eliminations applied, exactly as LAPACK's GETF2 does for m < n);
+/// `kpiv = min(rows, cols)` columns actually get factored and pivoted.
+struct PanelWork {
+  int rows = 0, cols = 0;
+  bool none() const { return rows <= 0 || cols <= 0; }
+  int kpiv() const { return rows < cols ? rows : cols; }
+};
+
+PanelWork dcwi_panel(int m, int jb, int Ai, int Aj, int m_loc, int n_loc) {
+  PanelWork w;
+  w.rows = dcwi_clamp(m, m_loc, Ai);
+  w.cols = dcwi_clamp(jb, n_loc, Aj);
+  return w;
+}
+
+}  // namespace
+
+template <typename T>
+void irr_getf2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m,
+                     int jb, T* const* dA_array, const int* ldda, int Ai,
+                     int Aj, const int* m_vec, const int* n_vec,
+                     int* const* ipiv_array, int* info_array,
+                     int batch_size) {
+  if (batch_size <= 0 || m <= 0 || jb <= 0) return;
+  const gpusim::LaunchConfig cfg{"irr_getf2_fused", batch_size,
+                                 irr_getf2_smem_bytes<T>(m, jb)};
+
+  dev.launch(stream, cfg, [=](gpusim::BlockCtx& ctx) {
+    const int id = ctx.block();
+    const PanelWork w = dcwi_panel(m, jb, Ai, Aj, m_vec[id], n_vec[id]);
+    if (w.none()) return;
+    const int lda = ldda[id];
+    T* A = dA_array[id] + static_cast<std::ptrdiff_t>(Aj) * lda + Ai;
+
+    // Stage the whole panel in shared memory.
+    T* sp = ctx.smem_alloc<T>(static_cast<std::size_t>(w.rows) * w.cols);
+    int* spiv = ctx.smem_alloc<int>(static_cast<std::size_t>(w.cols));
+    for (int j = 0; j < w.cols; ++j)
+      for (int i = 0; i < w.rows; ++i)
+        sp[static_cast<std::ptrdiff_t>(j) * w.rows + i] =
+            A[static_cast<std::ptrdiff_t>(j) * lda + i];
+
+    // Unblocked right-looking LU with partial pivoting on the staged panel.
+    const int info = la::getf2(w.rows, w.cols, sp, w.rows, spiv);
+    if (info != 0 && info_array[id] == 0) info_array[id] = Aj + info;
+
+    // Publish absolute pivot rows and the factored panel.
+    for (int j = 0; j < w.kpiv(); ++j) ipiv_array[id][Aj + j] = Ai + spiv[j];
+    for (int j = 0; j < w.cols; ++j)
+      for (int i = 0; i < w.rows; ++i)
+        A[static_cast<std::ptrdiff_t>(j) * lda + i] =
+            sp[static_cast<std::ptrdiff_t>(j) * w.rows + i];
+
+    // One read + one write of the panel; LU work done entirely in smem.
+    ctx.record(la::getrf_flops(w.rows, w.cols),
+               2.0 * w.rows * w.cols * sizeof(T) + w.cols * sizeof(int));
+  });
+}
+
+template <typename T>
+void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
+                          int jb, T* const* dA_array, const int* ldda, int Ai,
+                          int Aj, const int* m_vec, const int* n_vec,
+                          int* const* ipiv_array, int* info_array,
+                          int batch_size) {
+  if (batch_size <= 0 || m <= 0 || jb <= 0) return;
+  // Strided row access wastes a cache line per element (column-major).
+  const double row_penalty = 64.0 / sizeof(T);
+
+  for (int c = 0; c < jb; ++c) {
+    // (1) irrIAMAX: pivot search in the current subcolumn.
+    dev.launch(stream, {"irr_iamax", batch_size, 0},
+               [=](gpusim::BlockCtx& ctx) {
+      const int id = ctx.block();
+      const PanelWork w = dcwi_panel(m, jb, Ai, Aj, m_vec[id], n_vec[id]);
+      if (w.none() || c >= w.kpiv()) return;
+      const int lda = ldda[id];
+      const T* col = dA_array[id] +
+                     static_cast<std::ptrdiff_t>(Aj + c) * lda + Ai;
+      const int p = c + la::iamax(w.rows - c, col + c, 1);
+      ipiv_array[id][Aj + c] = Ai + p;
+      if (col[p] == T{} && info_array[id] == 0) info_array[id] = Aj + c + 1;
+      ctx.record(0.0, static_cast<double>(w.rows - c) * sizeof(T));
+    });
+
+    // (2) irrSWAP: bring the pivot row to the diagonal (panel width only;
+    // the left/right widths are handled later by irrLASWP).
+    dev.launch(stream, {"irr_swap", batch_size, 0},
+               [=](gpusim::BlockCtx& ctx) {
+      const int id = ctx.block();
+      const PanelWork w = dcwi_panel(m, jb, Ai, Aj, m_vec[id], n_vec[id]);
+      if (w.none() || c >= w.kpiv()) return;
+      const int lda = ldda[id];
+      T* A = dA_array[id] + static_cast<std::ptrdiff_t>(Aj) * lda + Ai;
+      const int p = ipiv_array[id][Aj + c] - Ai;
+      if (p != c) {
+        la::swap(w.cols, A + c, lda, A + p, lda);
+        ctx.record(0.0, 2.0 * w.cols * row_penalty * sizeof(T));
+      }
+    });
+
+    // (3) irrSCAL: scale the subdiagonal of the current column.
+    dev.launch(stream, {"irr_scal", batch_size, 0},
+               [=](gpusim::BlockCtx& ctx) {
+      const int id = ctx.block();
+      const PanelWork w = dcwi_panel(m, jb, Ai, Aj, m_vec[id], n_vec[id]);
+      if (w.none() || c >= w.kpiv()) return;
+      const int lda = ldda[id];
+      T* col = dA_array[id] + static_cast<std::ptrdiff_t>(Aj + c) * lda + Ai;
+      const T piv = col[c];
+      if (piv != T{} && c + 1 < w.rows)
+        la::scal(w.rows - c - 1, T(1) / piv, col + c + 1, 1);
+      ctx.record(static_cast<double>(std::max(0, w.rows - c - 1)),
+                 2.0 * std::max(0, w.rows - c - 1) * sizeof(T));
+    });
+
+    // (4) irrGER: rank-1 update of the trailing subpanel.
+    dev.launch(stream, {"irr_ger", batch_size, 0},
+               [=](gpusim::BlockCtx& ctx) {
+      const int id = ctx.block();
+      const PanelWork w = dcwi_panel(m, jb, Ai, Aj, m_vec[id], n_vec[id]);
+      if (w.none() || c >= w.kpiv()) return;
+      const int gm = w.rows - c - 1, gn = w.cols - c - 1;
+      if (gm <= 0 || gn <= 0) return;
+      const int lda = ldda[id];
+      T* A = dA_array[id] + static_cast<std::ptrdiff_t>(Aj) * lda + Ai;
+      la::ger(gm, gn, T(-1), A + static_cast<std::ptrdiff_t>(c) * lda + c + 1,
+              1, A + static_cast<std::ptrdiff_t>(c + 1) * lda + c, lda,
+              A + static_cast<std::ptrdiff_t>(c + 1) * lda + c + 1, lda);
+      ctx.record(la::ger_flops(gm, gn),
+                 (2.0 * gm * gn + gm + gn) * sizeof(T));
+    });
+  }
+}
+
+#define IRRLU_INSTANTIATE_PANEL(T)                                           \
+  template void irr_getf2_fused<T>(gpusim::Device&, gpusim::Stream&, int,    \
+                                   int, T* const*, const int*, int, int,     \
+                                   const int*, const int*, int* const*,      \
+                                   int*, int);                               \
+  template void irr_panel_columnwise<T>(gpusim::Device&, gpusim::Stream&,    \
+                                        int, int, T* const*, const int*,     \
+                                        int, int, const int*, const int*,    \
+                                        int* const*, int*, int);
+
+IRRLU_INSTANTIATE_PANEL(float)
+IRRLU_INSTANTIATE_PANEL(double)
+IRRLU_INSTANTIATE_PANEL(std::complex<double>)
+
+#undef IRRLU_INSTANTIATE_PANEL
+
+}  // namespace irrlu::batch

@@ -1,0 +1,271 @@
+#include "lapack/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace irrlu::la {
+
+template <typename T>
+int iamax(int n, const T* x, int incx) {
+  if (n <= 0) return 0;
+  int best = 0;
+  auto bestv = std::abs(x[0]);  // magnitude type (double for complex)
+  for (int i = 1; i < n; ++i) {
+    const auto v = std::abs(x[static_cast<std::ptrdiff_t>(i) * incx]);
+    if (v > bestv) {
+      bestv = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+void scal(int n, T alpha, T* x, int incx) {
+  for (int i = 0; i < n; ++i) x[static_cast<std::ptrdiff_t>(i) * incx] *= alpha;
+}
+
+template <typename T>
+void swap(int n, T* x, int incx, T* y, int incy) {
+  for (int i = 0; i < n; ++i)
+    std::swap(x[static_cast<std::ptrdiff_t>(i) * incx],
+              y[static_cast<std::ptrdiff_t>(i) * incy]);
+}
+
+template <typename T>
+void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
+         T* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    const T yj = alpha * y[static_cast<std::ptrdiff_t>(j) * incy];
+    if (yj == T{}) continue;
+    T* col = a + static_cast<std::ptrdiff_t>(j) * lda;
+    for (int i = 0; i < m; ++i)
+      col[i] += x[static_cast<std::ptrdiff_t>(i) * incx] * yj;
+  }
+}
+
+template <typename T>
+void gemv(Trans trans, int m, int n, T alpha, const T* a, int lda, const T* x,
+          int incx, T beta, T* y, int incy) {
+  const int ylen = trans == Trans::No ? m : n;
+  if (beta != T(1))
+    for (int i = 0; i < ylen; ++i)
+      y[static_cast<std::ptrdiff_t>(i) * incy] *= beta;
+  if (trans == Trans::No) {
+    for (int j = 0; j < n; ++j) {
+      const T xj = alpha * x[static_cast<std::ptrdiff_t>(j) * incx];
+      const T* col = a + static_cast<std::ptrdiff_t>(j) * lda;
+      for (int i = 0; i < m; ++i)
+        y[static_cast<std::ptrdiff_t>(i) * incy] += col[i] * xj;
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      const T* col = a + static_cast<std::ptrdiff_t>(j) * lda;
+      T acc{};
+      for (int i = 0; i < m; ++i)
+        acc += col[i] * x[static_cast<std::ptrdiff_t>(i) * incx];
+      y[static_cast<std::ptrdiff_t>(j) * incy] += alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+void trsv(Uplo uplo, Trans trans, Diag diag, int m, const T* a, int lda,
+          T* x, int incx) {
+  auto X = [&](int i) -> T& {
+    return x[static_cast<std::ptrdiff_t>(i) * incx];
+  };
+  auto A = [&](int i, int j) -> T {
+    return a[static_cast<std::ptrdiff_t>(j) * lda + i];
+  };
+  const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
+  // Effective element accessor folding the transpose.
+  auto E = [&](int i, int j) -> T {
+    return trans == Trans::No ? A(i, j) : A(j, i);
+  };
+  if (lower) {
+    for (int i = 0; i < m; ++i) {
+      T acc = X(i);
+      for (int j = 0; j < i; ++j) acc -= E(i, j) * X(j);
+      X(i) = diag == Diag::Unit ? acc : acc / E(i, i);
+    }
+  } else {
+    for (int i = m - 1; i >= 0; --i) {
+      T acc = X(i);
+      for (int j = i + 1; j < m; ++j) acc -= E(i, j) * X(j);
+      X(i) = diag == Diag::Unit ? acc : acc / E(i, i);
+    }
+  }
+}
+
+namespace {
+
+// Tiled C += alpha * A * B microkernel for the NoTrans/NoTrans fast path.
+template <typename T>
+void gemm_nn_tiled(int m, int n, int k, T alpha, const T* a, int lda,
+                   const T* b, int ldb, T* c, int ldc) {
+  constexpr int MC = 64, NC = 64, KC = 128;
+  for (int jj = 0; jj < n; jj += NC) {
+    const int nb = std::min(NC, n - jj);
+    for (int kk = 0; kk < k; kk += KC) {
+      const int kb = std::min(KC, k - kk);
+      for (int ii = 0; ii < m; ii += MC) {
+        const int mb = std::min(MC, m - ii);
+        for (int j = 0; j < nb; ++j) {
+          T* cj = c + static_cast<std::ptrdiff_t>(jj + j) * ldc + ii;
+          const T* bj = b + static_cast<std::ptrdiff_t>(jj + j) * ldb + kk;
+          for (int p = 0; p < kb; ++p) {
+            const T bpj = alpha * bj[p];
+            if (bpj == T{}) continue;
+            const T* ap = a + static_cast<std::ptrdiff_t>(kk + p) * lda + ii;
+            for (int i = 0; i < mb; ++i) cj[i] += ap[i] * bpj;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (beta != T(1)) {
+    for (int j = 0; j < n; ++j) {
+      T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      if (beta == T{})
+        std::fill(cj, cj + m, T{});
+      else
+        for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (k <= 0 || alpha == T{}) return;
+
+  if (transa == Trans::No && transb == Trans::No) {
+    gemm_nn_tiled(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  auto A = [&](int i, int p) -> T {
+    return transa == Trans::No
+               ? a[static_cast<std::ptrdiff_t>(p) * lda + i]
+               : a[static_cast<std::ptrdiff_t>(i) * lda + p];
+  };
+  auto B = [&](int p, int j) -> T {
+    return transb == Trans::No
+               ? b[static_cast<std::ptrdiff_t>(j) * ldb + p]
+               : b[static_cast<std::ptrdiff_t>(p) * ldb + j];
+  };
+  for (int j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    for (int i = 0; i < m; ++i) {
+      T acc{};
+      for (int p = 0; p < k; ++p) acc += A(i, p) * B(p, j);
+      cj[i] += alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
+          const T* a, int lda, T* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  if (alpha != T(1)) {
+    for (int j = 0; j < n; ++j) {
+      T* bj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+      for (int i = 0; i < m; ++i) bj[i] *= alpha;
+    }
+  }
+  auto A = [&](int i, int j) -> T {
+    return a[static_cast<std::ptrdiff_t>(j) * lda + i];
+  };
+  if (side == Side::Left) {
+    // Solve op(A) X = B column by column.
+    const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
+    auto E = [&](int i, int j) -> T {
+      return trans == Trans::No ? A(i, j) : A(j, i);
+    };
+    for (int col = 0; col < n; ++col) {
+      T* x = b + static_cast<std::ptrdiff_t>(col) * ldb;
+      if (lower) {
+        for (int i = 0; i < m; ++i) {
+          T acc = x[i];
+          for (int j = 0; j < i; ++j) acc -= E(i, j) * x[j];
+          x[i] = diag == Diag::Unit ? acc : acc / E(i, i);
+        }
+      } else {
+        for (int i = m - 1; i >= 0; --i) {
+          T acc = x[i];
+          for (int j = i + 1; j < m; ++j) acc -= E(i, j) * x[j];
+          x[i] = diag == Diag::Unit ? acc : acc / E(i, i);
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B row by row; A is n x n.
+    const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
+    auto E = [&](int i, int j) -> T {
+      return trans == Trans::No ? A(i, j) : A(j, i);
+    };
+    // X op(A) = B  <=>  for each column j of X (in dependency order):
+    //   X(:,j) = (B(:,j) - sum_{p != j processed} X(:,p) E(p, j)) / E(j, j)
+    if (lower) {
+      // op(A) lower: column j of X depends on columns p > j.
+      for (int j = n - 1; j >= 0; --j) {
+        T* xj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+        for (int p = j + 1; p < n; ++p) {
+          const T e = E(p, j);
+          if (e == T{}) continue;
+          const T* xp = b + static_cast<std::ptrdiff_t>(p) * ldb;
+          for (int i = 0; i < m; ++i) xj[i] -= xp[i] * e;
+        }
+        if (diag == Diag::NonUnit) {
+          const T d = E(j, j);
+          for (int i = 0; i < m; ++i) xj[i] /= d;
+        }
+      }
+    } else {
+      // op(A) upper: column j of X depends on columns p < j.
+      for (int j = 0; j < n; ++j) {
+        T* xj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+        for (int p = 0; p < j; ++p) {
+          const T e = E(p, j);
+          if (e == T{}) continue;
+          const T* xp = b + static_cast<std::ptrdiff_t>(p) * ldb;
+          for (int i = 0; i < m; ++i) xj[i] -= xp[i] * e;
+        }
+        if (diag == Diag::NonUnit) {
+          const T d = E(j, j);
+          for (int i = 0; i < m; ++i) xj[i] /= d;
+        }
+      }
+    }
+  }
+}
+
+#define IRRLU_INSTANTIATE_BLAS(T)                                             \
+  template int iamax<T>(int, const T*, int);                                  \
+  template void scal<T>(int, T, T*, int);                                     \
+  template void swap<T>(int, T*, int, T*, int);                               \
+  template void ger<T>(int, int, T, const T*, int, const T*, int, T*, int);   \
+  template void gemv<T>(Trans, int, int, T, const T*, int, const T*, int, T,  \
+                        T*, int);                                             \
+  template void trsv<T>(Uplo, Trans, Diag, int, const T*, int, T*, int);      \
+  template void gemm<T>(Trans, Trans, int, int, int, T, const T*, int,        \
+                        const T*, int, T, T*, int);                           \
+  template void trsm<T>(Side, Uplo, Trans, Diag, int, int, T, const T*, int,  \
+                        T*, int);
+
+IRRLU_INSTANTIATE_BLAS(float)
+IRRLU_INSTANTIATE_BLAS(double)
+IRRLU_INSTANTIATE_BLAS(std::complex<double>)
+
+#undef IRRLU_INSTANTIATE_BLAS
+
+}  // namespace irrlu::la

@@ -1,0 +1,59 @@
+// Single-matrix column-major BLAS kernels (levels 1-3). These are the
+// reference implementations used by the tests, the building blocks of the
+// single-matrix LAPACK routines, and the per-thread-block bodies of the
+// batched kernels. No external BLAS is assumed anywhere in the project.
+#pragma once
+
+#include <cstddef>
+
+#include "lapack/types.hpp"
+
+namespace irrlu::la {
+
+// ----- level 1 -----
+
+/// Index of the element of x (stride incx, length n) with maximum |.|;
+/// returns 0 for n <= 0. Ties resolve to the first occurrence (LAPACK).
+template <typename T>
+int iamax(int n, const T* x, int incx);
+
+/// x *= alpha.
+template <typename T>
+void scal(int n, T alpha, T* x, int incx);
+
+/// Swap vectors x and y.
+template <typename T>
+void swap(int n, T* x, int incx, T* y, int incy);
+
+// ----- level 2 -----
+
+/// A += alpha * x * y^T  (A is m x n, leading dimension lda).
+template <typename T>
+void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
+         T* a, int lda);
+
+/// y = alpha*op(A)*x + beta*y.
+template <typename T>
+void gemv(Trans trans, int m, int n, T alpha, const T* a, int lda, const T* x,
+          int incx, T beta, T* y, int incy);
+
+/// Solve op(A) * x = x in place; A triangular m x m.
+template <typename T>
+void trsv(Uplo uplo, Trans trans, Diag diag, int m, const T* a, int lda, T* x,
+          int incx);
+
+// ----- level 3 -----
+
+/// C = alpha*op(A)*op(B) + beta*C, with C m x n and inner dimension k.
+/// Cache-tiled; correct for all aliasing-free inputs including m/n/k == 0.
+template <typename T>
+void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc);
+
+/// B = alpha * op(A)^{-1} * B (Side::Left) or alpha * B * op(A)^{-1}
+/// (Side::Right); A triangular, B m x n. In-place, forward/back substitution.
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
+          const T* a, int lda, T* b, int ldb);
+
+}  // namespace irrlu::la

@@ -1,0 +1,169 @@
+#include "lapack/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace irrlu::la {
+
+template <typename T>
+int getf2(int m, int n, T* a, int lda, int* ipiv) {
+  int info = 0;
+  const int kmin = std::min(m, n);
+  for (int j = 0; j < kmin; ++j) {
+    T* colj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    const int p = j + iamax(m - j, colj + j, 1);
+    ipiv[j] = p;
+    if (colj[p] != T{}) {
+      if (p != j)
+        swap(n, a + j, lda, a + p, lda);
+      if (j < m - 1) {
+        const T inv = T(1) / colj[j];
+        scal(m - 1 - j, inv, colj + j + 1, 1);
+      }
+    } else if (info == 0) {
+      info = j + 1;
+    }
+    if (j < kmin) {
+      // Trailing rank-1 update.
+      ger(m - 1 - j, n - 1 - j, T(-1), colj + j + 1, 1,
+          a + static_cast<std::ptrdiff_t>(j + 1) * lda + j, lda,
+          a + static_cast<std::ptrdiff_t>(j + 1) * lda + j + 1, lda);
+    }
+  }
+  return info;
+}
+
+template <typename T>
+int getrf(int m, int n, T* a, int lda, int* ipiv, int nb) {
+  IRRLU_CHECK(nb >= 1);
+  const int kmin = std::min(m, n);
+  if (kmin == 0) return 0;
+  if (kmin <= nb) return getf2(m, n, a, lda, ipiv);
+
+  int info = 0;
+  for (int j = 0; j < kmin; j += nb) {
+    const int jb = std::min(nb, kmin - j);
+    T* panel = a + static_cast<std::ptrdiff_t>(j) * lda + j;
+    const int pinfo = getf2(m - j, jb, panel, lda, ipiv + j);
+    if (pinfo != 0 && info == 0) info = pinfo + j;
+    // Pivot indices from the panel are relative to row j.
+    for (int i = j; i < j + jb; ++i) ipiv[i] += j;
+    // Apply interchanges to the columns left of the panel...
+    laswp(j, a, lda, j, j + jb, ipiv);
+    // ...and right of the panel.
+    if (j + jb < n)
+      laswp(n - j - jb, a + static_cast<std::ptrdiff_t>(j + jb) * lda, lda, j,
+            j + jb, ipiv);
+    if (j + jb < n) {
+      // U block row: solve L11 * U12 = A12.
+      trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, jb, n - j - jb,
+           T(1), panel, lda, a + static_cast<std::ptrdiff_t>(j + jb) * lda + j,
+           lda);
+      if (j + jb < m) {
+        // Trailing update A22 -= L21 * U12.
+        gemm(Trans::No, Trans::No, m - j - jb, n - j - jb, jb, T(-1),
+             a + static_cast<std::ptrdiff_t>(j) * lda + j + jb, lda,
+             a + static_cast<std::ptrdiff_t>(j + jb) * lda + j, lda, T(1),
+             a + static_cast<std::ptrdiff_t>(j + jb) * lda + j + jb, lda);
+      }
+    }
+  }
+  return info;
+}
+
+template <typename T>
+void laswp(int n, T* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward) {
+  if (n <= 0) return;
+  if (forward) {
+    for (int j = k1; j < k2; ++j)
+      if (ipiv[j] != j) swap(n, a + j, lda, a + ipiv[j], lda);
+  } else {
+    for (int j = k2 - 1; j >= k1; --j)
+      if (ipiv[j] != j) swap(n, a + j, lda, a + ipiv[j], lda);
+  }
+}
+
+template <typename T>
+void getrs(Trans trans, int n, int nrhs, const T* a, int lda,
+           const int* ipiv, T* b, int ldb) {
+  if (n == 0 || nrhs == 0) return;
+  if (trans == Trans::No) {
+    laswp(nrhs, b, ldb, 0, n, ipiv);
+    trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, n, nrhs, T(1), a,
+         lda, b, ldb);
+    trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, n, nrhs, T(1), a,
+         lda, b, ldb);
+  } else {
+    trsm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, n, nrhs, T(1), a,
+         lda, b, ldb);
+    trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, n, nrhs, T(1), a,
+         lda, b, ldb);
+    laswp(nrhs, b, ldb, 0, n, ipiv, /*forward=*/false);
+  }
+}
+
+template <typename T>
+int trtri(Uplo uplo, Diag diag, int n, T* a, int lda) {
+  auto A = [&](int i, int j) -> T& {
+    return a[static_cast<std::ptrdiff_t>(j) * lda + i];
+  };
+  if (diag == Diag::NonUnit)
+    for (int j = 0; j < n; ++j)
+      if (A(j, j) == T{}) return j + 1;
+
+  if (uplo == Uplo::Upper) {
+    for (int j = 0; j < n; ++j) {
+      T ajj;
+      if (diag == Diag::NonUnit) {
+        A(j, j) = T(1) / A(j, j);
+        ajj = -A(j, j);
+      } else {
+        ajj = T(-1);
+      }
+      // Column j above the diagonal: x = -inv(U11) * u12 * inv(u22).
+      for (int i = 0; i < j; ++i) {
+        T acc = diag == Diag::NonUnit ? A(i, i) * A(i, j) : A(i, j);
+        for (int p = i + 1; p < j; ++p) acc += A(i, p) * A(p, j);
+        A(i, j) = acc;
+      }
+      for (int i = 0; i < j; ++i) A(i, j) *= ajj;
+    }
+  } else {
+    for (int j = n - 1; j >= 0; --j) {
+      T ajj;
+      if (diag == Diag::NonUnit) {
+        A(j, j) = T(1) / A(j, j);
+        ajj = -A(j, j);
+      } else {
+        ajj = T(-1);
+      }
+      for (int i = n - 1; i > j; --i) {
+        T acc = diag == Diag::NonUnit ? A(i, i) * A(i, j) : A(i, j);
+        for (int p = j + 1; p < i; ++p) acc += A(i, p) * A(p, j);
+        A(i, j) = acc;
+      }
+      for (int i = j + 1; i < n; ++i) A(i, j) *= ajj;
+    }
+  }
+  return 0;
+}
+
+#define IRRLU_INSTANTIATE_LAPACK(T)                                       \
+  template int getf2<T>(int, int, T*, int, int*);                         \
+  template int getrf<T>(int, int, T*, int, int*, int);                    \
+  template void laswp<T>(int, T*, int, int, int, const int*, bool);       \
+  template void getrs<T>(Trans, int, int, const T*, int, const int*, T*,  \
+                         int);                                            \
+  template int trtri<T>(Uplo, Diag, int, T*, int);
+
+IRRLU_INSTANTIATE_LAPACK(float)
+IRRLU_INSTANTIATE_LAPACK(double)
+IRRLU_INSTANTIATE_LAPACK(std::complex<double>)
+
+#undef IRRLU_INSTANTIATE_LAPACK
+
+}  // namespace irrlu::la

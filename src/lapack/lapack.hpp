@@ -1,0 +1,42 @@
+// Single-matrix LAPACK-style routines built on the blas.hpp kernels:
+// unblocked and blocked LU with partial pivoting, pivot application, linear
+// solve, and triangular inversion. Column-major, 0-based pivot indices.
+#pragma once
+
+#include "lapack/blas.hpp"
+#include "lapack/types.hpp"
+
+namespace irrlu::la {
+
+/// Unblocked LU with partial pivoting of an m x n matrix (right-looking,
+/// one column at a time). On exit A holds L (unit diagonal, below) and U
+/// (on/above diagonal); ipiv[j] = row index (0-based, relative to A) that
+/// was swapped with row j, for j < min(m, n).
+/// Returns 0 on success, or (j + 1) if U(j, j) is exactly zero (the
+/// factorization proceeds; the factor is singular, as in LAPACK).
+template <typename T>
+int getf2(int m, int n, T* a, int lda, int* ipiv);
+
+/// Blocked LU with partial pivoting (panel width nb). Same contract as
+/// getf2; default nb matches the batched code's panel width.
+template <typename T>
+int getrf(int m, int n, T* a, int lda, int* ipiv, int nb = 32);
+
+/// Applies the row interchanges recorded in ipiv[k1..k2) to the n columns
+/// of A: for j in [k1, k2) (forward) or reverse, swap row j with row
+/// ipiv[j]. Mirrors LAPACK xLASWP with 0-based indices.
+template <typename T>
+void laswp(int n, T* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward = true);
+
+/// Solves op(A) X = B after getrf, overwriting B (n x nrhs).
+template <typename T>
+void getrs(Trans trans, int n, int nrhs, const T* a, int lda,
+           const int* ipiv, T* b, int ldb);
+
+/// In-place inversion of a triangular n x n matrix (unblocked).
+/// Returns 0 on success, or (j + 1) if a diagonal element is zero.
+template <typename T>
+int trtri(Uplo uplo, Diag diag, int n, T* a, int lda);
+
+}  // namespace irrlu::la

@@ -1,0 +1,121 @@
+#include "lapack/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lapack/blas.hpp"
+
+namespace irrlu::la {
+
+template <typename T>
+T larfg(int n, T* x0, T* x, int incx) {
+  if (n <= 1) return T{};
+  T xnorm = T{};
+  for (int i = 0; i < n - 1; ++i) {
+    const T v = x[static_cast<std::ptrdiff_t>(i) * incx];
+    xnorm += v * v;
+  }
+  xnorm = std::sqrt(xnorm);
+  if (xnorm == T{}) return T{};
+  const T alpha = *x0;
+  T beta = -std::copysign(std::hypot(static_cast<double>(alpha),
+                                     static_cast<double>(xnorm)),
+                          static_cast<double>(alpha));
+  const T tau = (beta - alpha) / beta;
+  const T scale = T(1) / (alpha - beta);
+  scal(n - 1, scale, x, incx);
+  *x0 = beta;
+  return tau;
+}
+
+template <typename T>
+void larf_left(int m, int n, const T* v, int incv, T tau, T* c, int ldc,
+               T* work) {
+  if (tau == T{} || m <= 0 || n <= 0) return;
+  // work = C^T v  (v(0) = 1 implicit: v points at v(1:), c row 0 separate)
+  for (int j = 0; j < n; ++j) {
+    T acc = c[static_cast<std::ptrdiff_t>(j) * ldc];  // v(0) * C(0, j)
+    for (int i = 1; i < m; ++i)
+      acc += v[static_cast<std::ptrdiff_t>(i - 1) * incv] *
+             c[static_cast<std::ptrdiff_t>(j) * ldc + i];
+    work[j] = acc;
+  }
+  // C -= tau * v * work^T
+  for (int j = 0; j < n; ++j) {
+    const T w = tau * work[j];
+    if (w == T{}) continue;
+    T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    cj[0] -= w;
+    for (int i = 1; i < m; ++i)
+      cj[i] -= v[static_cast<std::ptrdiff_t>(i - 1) * incv] * w;
+  }
+}
+
+template <typename T>
+void geqr2(int m, int n, T* a, int lda, T* tau, T* work) {
+  const int k = std::min(m, n);
+  for (int j = 0; j < k; ++j) {
+    T* col = a + static_cast<std::ptrdiff_t>(j) * lda + j;
+    tau[j] = larfg(m - j, col, col + 1, 1);
+    if (j + 1 < n)
+      larf_left(m - j, n - j - 1, col + 1, 1, tau[j],
+                a + static_cast<std::ptrdiff_t>(j + 1) * lda + j, lda, work);
+  }
+}
+
+template <typename T>
+void larft(int m, int k, const T* v, int ldv, const T* tau, T* t, int ldt) {
+  // Forward columnwise: T(0:i, i) = -tau_i * T(0:i, 0:i) * V^T v_i.
+  for (int i = 0; i < k; ++i) {
+    t[static_cast<std::ptrdiff_t>(i) * ldt + i] = tau[i];
+    for (int r = 0; r < i; ++r) {
+      // w_r = V(:, r)^T v_i over rows [i, m) with unit diagonals.
+      T acc = v[static_cast<std::ptrdiff_t>(r) * ldv + i];  // V(i, r)*v_i(i)=V(i,r)
+      for (int row = i + 1; row < m; ++row)
+        acc += v[static_cast<std::ptrdiff_t>(r) * ldv + row] *
+               v[static_cast<std::ptrdiff_t>(i) * ldv + row];
+      t[static_cast<std::ptrdiff_t>(i) * ldt + r] = -tau[i] * acc;
+    }
+    // T(0:i, i) <- T(0:i, 0:i) * T(0:i, i): in-place upper-triangular
+    // multiply. Writing row r only needs rows p >= r of the original
+    // column, and each element is read before any later write touches it,
+    // so ascending r is safe.
+    for (int r = 0; r < i; ++r) {
+      T acc = T{};
+      for (int p = r; p < i; ++p)
+        acc += t[static_cast<std::ptrdiff_t>(p) * ldt + r] *
+               t[static_cast<std::ptrdiff_t>(i) * ldt + p];
+      t[static_cast<std::ptrdiff_t>(i) * ldt + r] = acc;
+    }
+  }
+}
+
+template <typename T>
+void apply_q(Trans trans, int m, int n, int k, const T* v, int ldv,
+             const T* tau, T* c, int ldc, T* work) {
+  if (trans == Trans::Yes) {
+    // Q^T = H_{k-1} ... H_0 applied left means H_0 first.
+    for (int j = 0; j < k; ++j)
+      larf_left(m - j, n, v + static_cast<std::ptrdiff_t>(j) * ldv + j + 1,
+                1, tau[j], c + j, ldc, work);
+  } else {
+    for (int j = k - 1; j >= 0; --j)
+      larf_left(m - j, n, v + static_cast<std::ptrdiff_t>(j) * ldv + j + 1,
+                1, tau[j], c + j, ldc, work);
+  }
+}
+
+#define IRRLU_INSTANTIATE_QR(T)                                            \
+  template T larfg<T>(int, T*, T*, int);                                   \
+  template void larf_left<T>(int, int, const T*, int, T, T*, int, T*);     \
+  template void geqr2<T>(int, int, T*, int, T*, T*);                       \
+  template void larft<T>(int, int, const T*, int, const T*, T*, int);      \
+  template void apply_q<T>(Trans, int, int, int, const T*, int, const T*,  \
+                           T*, int, T*);
+
+IRRLU_INSTANTIATE_QR(float)
+IRRLU_INSTANTIATE_QR(double)
+
+#undef IRRLU_INSTANTIATE_QR
+
+}  // namespace irrlu::la

@@ -1,0 +1,51 @@
+// Householder QR building blocks (single matrix): reflector generation and
+// application, unblocked panel QR, the compact-WY T factor, and Q
+// application — the substrate of the irregular-batch QR (irr_geqrf), which
+// the paper lists as the natural next algorithm for its interface + DCWI
+// design ("the proposed interface and the DCWI layer would work seamlessly
+// for other decompositions, such as the QR factorization").
+#pragma once
+
+#include "lapack/types.hpp"
+
+namespace irrlu::la {
+
+/// Generates a Householder reflector H = I - tau v v^T with v(0) = 1 such
+/// that H [alpha; x] = [beta; 0]. On entry alpha is *x0 and x has n-1
+/// elements; on exit *x0 = beta and x holds v(1:). Returns tau (0 if the
+/// column is already collapsed).
+template <typename T>
+T larfg(int n, T* x0, T* x, int incx);
+
+/// Applies H = I - tau v v^T from the left to the m x n matrix C, with
+/// v(0) = 1 implicit and v(1:) given. `work` must hold n elements.
+template <typename T>
+void larf_left(int m, int n, const T* v, int incv, T tau, T* c, int ldc,
+               T* work);
+
+/// Unblocked Householder QR of an m x n matrix: on exit the upper triangle
+/// holds R and the columns below the diagonal hold the reflector vectors;
+/// tau[j] for j < min(m, n). `work` must hold n elements.
+template <typename T>
+void geqr2(int m, int n, T* a, int lda, T* tau, T* work);
+
+/// Forms the upper-triangular compact-WY factor T (k x k) for the k
+/// reflectors stored in the m x k panel V (unit lower trapezoid implicit):
+/// Q = I - V T V^T.
+template <typename T>
+void larft(int m, int k, const T* v, int ldv, const T* tau, T* t, int ldt);
+
+/// Applies op(Q) (from the reflectors in the m x k panel V and tau) to the
+/// m x n matrix C from the left: C <- op(Q) C. `work` holds n elements.
+template <typename T>
+void apply_q(Trans trans, int m, int n, int k, const T* v, int ldv,
+             const T* tau, T* c, int ldc, T* work);
+
+/// FLOPs of QR on an m x n matrix (LAPACK-style leading terms).
+inline double geqrf_flops(int m, int n) {
+  const double M = m, N = n;
+  if (m >= n) return 2.0 * M * N * N - 2.0 * N * N * N / 3.0;
+  return 2.0 * N * M * M - 2.0 * M * M * M / 3.0;
+}
+
+}  // namespace irrlu::la

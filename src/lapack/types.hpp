@@ -1,0 +1,16 @@
+// Shared BLAS-style enumerations for the dense and batched kernels.
+#pragma once
+
+namespace irrlu::la {
+
+enum class Trans { No, Yes };
+enum class Side { Left, Right };
+enum class Uplo { Lower, Upper };
+enum class Diag { Unit, NonUnit };
+
+inline const char* to_string(Trans t) { return t == Trans::No ? "N" : "T"; }
+inline const char* to_string(Side s) { return s == Side::Left ? "L" : "R"; }
+inline const char* to_string(Uplo u) { return u == Uplo::Lower ? "L" : "U"; }
+inline const char* to_string(Diag d) { return d == Diag::Unit ? "U" : "N"; }
+
+}  // namespace irrlu::la

@@ -1,0 +1,327 @@
+#include "ordering/bisection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace irrlu::ordering {
+
+namespace {
+
+/// Heavy-edge matching: visits vertices in random order, matching each
+/// unmatched vertex to its unmatched neighbor with the heaviest edge.
+/// Returns match[v] (== v for unmatched) and the number of coarse vertices.
+int heavy_edge_matching(const Graph& g, Rng& rng, std::vector<int>& match) {
+  const int n = g.num_vertices();
+  match.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  int coarse = 0;
+  for (int v : order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    int best = -1, bestw = -1;
+    for (int k = g.ptr()[static_cast<std::size_t>(v)];
+         k < g.ptr()[static_cast<std::size_t>(v) + 1]; ++k) {
+      const int u = g.adj()[static_cast<std::size_t>(k)];
+      if (match[static_cast<std::size_t>(u)] >= 0 || u == v) continue;
+      const int w = g.ewgt()[static_cast<std::size_t>(k)];
+      if (w > bestw) {
+        bestw = w;
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;
+    }
+    ++coarse;
+  }
+  return coarse;
+}
+
+/// Contracts matched pairs into a coarse graph; cmap[v] = coarse vertex.
+Graph coarsen(const Graph& g, const std::vector<int>& match,
+              std::vector<int>& cmap, int coarse_n) {
+  const int n = g.num_vertices();
+  cmap.assign(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (int v = 0; v < n; ++v) {
+    if (cmap[static_cast<std::size_t>(v)] >= 0) continue;
+    const int u = match[static_cast<std::size_t>(v)];
+    cmap[static_cast<std::size_t>(v)] = next;
+    cmap[static_cast<std::size_t>(u)] = next;
+    ++next;
+  }
+  IRRLU_CHECK(next == coarse_n);
+
+  std::vector<int> ptr(static_cast<std::size_t>(coarse_n) + 1, 0);
+  std::vector<int> adj, ewgt;
+  std::vector<int> vwgt(static_cast<std::size_t>(coarse_n), 0);
+  std::vector<int> accum(static_cast<std::size_t>(coarse_n), -1);
+  std::vector<int> accum_w(static_cast<std::size_t>(coarse_n), 0);
+  std::vector<int> touched;
+
+  for (int cv = 0, v = 0; v < n; ++v) {
+    if (cmap[static_cast<std::size_t>(v)] != cv) continue;
+    // Gather the pair (v, match[v]) into coarse vertex cv.
+    const int pair[2] = {v, match[static_cast<std::size_t>(v)]};
+    touched.clear();
+    for (int pi = 0; pi < (pair[0] == pair[1] ? 1 : 2); ++pi) {
+      const int x = pair[pi];
+      vwgt[static_cast<std::size_t>(cv)] +=
+          pi == 0 || pair[0] != pair[1]
+              ? g.vwgt()[static_cast<std::size_t>(x)]
+              : 0;
+      for (int k = g.ptr()[static_cast<std::size_t>(x)];
+           k < g.ptr()[static_cast<std::size_t>(x) + 1]; ++k) {
+        const int cu = cmap[static_cast<std::size_t>(
+            g.adj()[static_cast<std::size_t>(k)])];
+        if (cu == cv) continue;  // contracted edge
+        if (accum[static_cast<std::size_t>(cu)] != cv) {
+          accum[static_cast<std::size_t>(cu)] = cv;
+          accum_w[static_cast<std::size_t>(cu)] = 0;
+          touched.push_back(cu);
+        }
+        accum_w[static_cast<std::size_t>(cu)] +=
+            g.ewgt()[static_cast<std::size_t>(k)];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int cu : touched) {
+      adj.push_back(cu);
+      ewgt.push_back(accum_w[static_cast<std::size_t>(cu)]);
+    }
+    ptr[static_cast<std::size_t>(cv) + 1] = static_cast<int>(adj.size());
+    ++cv;
+  }
+  // Fix vwgt double-count: the loop above adds each endpoint once because
+  // the pair is iterated explicitly; for self-matched vertices pi runs once.
+  Graph cg = Graph::from_adjacency(coarse_n, std::move(ptr), std::move(adj));
+  cg.set_weights(std::move(vwgt), std::move(ewgt));
+  return cg;
+}
+
+/// Greedy graph growing: BFS from a random vertex until half the total
+/// vertex weight is claimed. Repeats a few times, keeping the best cut.
+void initial_partition(const Graph& g, Rng& rng,
+                       std::vector<std::uint8_t>& side, double balance) {
+  const int n = g.num_vertices();
+  const int target = g.total_vwgt() / 2;
+  std::vector<std::uint8_t> best;
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  const int tries = std::min(4, n);
+  for (int t = 0; t < tries; ++t) {
+    side.assign(static_cast<std::size_t>(n), 1);
+    int w0 = 0;
+    std::vector<int> queue;
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    int start = rng.uniform_int(0, n - 1);
+    queue.push_back(start);
+    seen[static_cast<std::size_t>(start)] = 1;
+    std::size_t head = 0;
+    while (w0 < target) {
+      if (head == queue.size()) {
+        // Disconnected: grow from a fresh unvisited vertex.
+        int fresh = -1;
+        for (int v = 0; v < n; ++v)
+          if (!seen[static_cast<std::size_t>(v)]) {
+            fresh = v;
+            break;
+          }
+        if (fresh < 0) break;
+        seen[static_cast<std::size_t>(fresh)] = 1;
+        queue.push_back(fresh);
+      }
+      const int v = queue[head++];
+      side[static_cast<std::size_t>(v)] = 0;
+      w0 += g.vwgt()[static_cast<std::size_t>(v)];
+      for (int k = g.ptr()[static_cast<std::size_t>(v)];
+           k < g.ptr()[static_cast<std::size_t>(v) + 1]; ++k) {
+        const int u = g.adj()[static_cast<std::size_t>(k)];
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    const std::int64_t cut = edge_cut(g, side);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = side;
+    }
+  }
+  side = best;
+  (void)balance;
+}
+
+/// One Fiduccia–Mattheyses-style pass: greedily move the best-gain movable
+/// vertex (keeping balance), remember the best prefix, roll back the rest.
+/// Returns the cut improvement of the pass.
+std::int64_t fm_pass(const Graph& g, std::vector<std::uint8_t>& side,
+                     double balance) {
+  const int n = g.num_vertices();
+  std::vector<std::int64_t> gain(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> locked(static_cast<std::size_t>(n), 0);
+  int w[2] = {0, 0};
+  for (int v = 0; v < n; ++v)
+    w[side[static_cast<std::size_t>(v)]] +=
+        g.vwgt()[static_cast<std::size_t>(v)];
+  const int total = w[0] + w[1];
+  const int max_w = static_cast<int>((0.5 + balance) * total) + 1;
+
+  auto compute_gain = [&](int v) {
+    std::int64_t gv = 0;
+    const int sv = side[static_cast<std::size_t>(v)];
+    for (int k = g.ptr()[static_cast<std::size_t>(v)];
+         k < g.ptr()[static_cast<std::size_t>(v) + 1]; ++k) {
+      const int u = g.adj()[static_cast<std::size_t>(k)];
+      const int ew = g.ewgt()[static_cast<std::size_t>(k)];
+      gv += side[static_cast<std::size_t>(u)] == sv ? -ew : ew;
+    }
+    return gv;
+  };
+  for (int v = 0; v < n; ++v) gain[static_cast<std::size_t>(v)] = compute_gain(v);
+
+  std::vector<int> moved;
+  std::int64_t cum = 0, best_cum = 0;
+  std::size_t best_prefix = 0;
+  const int max_moves = std::min(n, 2000);
+  for (int step = 0; step < max_moves; ++step) {
+    int best = -1;
+    std::int64_t bestg = std::numeric_limits<std::int64_t>::min();
+    for (int v = 0; v < n; ++v) {
+      if (locked[static_cast<std::size_t>(v)]) continue;
+      const int sv = side[static_cast<std::size_t>(v)];
+      if (w[1 - sv] + g.vwgt()[static_cast<std::size_t>(v)] > max_w) continue;
+      if (gain[static_cast<std::size_t>(v)] > bestg) {
+        bestg = gain[static_cast<std::size_t>(v)];
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    const int sv = side[static_cast<std::size_t>(best)];
+    side[static_cast<std::size_t>(best)] =
+        static_cast<std::uint8_t>(1 - sv);
+    w[sv] -= g.vwgt()[static_cast<std::size_t>(best)];
+    w[1 - sv] += g.vwgt()[static_cast<std::size_t>(best)];
+    locked[static_cast<std::size_t>(best)] = 1;
+    moved.push_back(best);
+    cum += bestg;
+    if (cum > best_cum) {
+      best_cum = cum;
+      best_prefix = moved.size();
+    }
+    // Update neighbor gains.
+    for (int k = g.ptr()[static_cast<std::size_t>(best)];
+         k < g.ptr()[static_cast<std::size_t>(best) + 1]; ++k) {
+      const int u = g.adj()[static_cast<std::size_t>(k)];
+      if (!locked[static_cast<std::size_t>(u)])
+        gain[static_cast<std::size_t>(u)] = compute_gain(u);
+    }
+    if (cum < best_cum - 50) break;  // hill got too deep; stop early
+  }
+  // Roll back moves beyond the best prefix.
+  for (std::size_t i = moved.size(); i > best_prefix; --i) {
+    const int v = moved[i - 1];
+    const int sv = side[static_cast<std::size_t>(v)];
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(1 - sv);
+  }
+  return best_cum;
+}
+
+/// Greedy minimum vertex cover of the cut edges -> vertex separator.
+void extract_separator(const Graph& g, std::vector<std::uint8_t>& side,
+                       Bisection& out) {
+  const int n = g.num_vertices();
+  // Count, per vertex, the incident cut edges.
+  std::vector<int> cutdeg(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v)
+    for (int k = g.ptr()[static_cast<std::size_t>(v)];
+         k < g.ptr()[static_cast<std::size_t>(v) + 1]; ++k) {
+      const int u = g.adj()[static_cast<std::size_t>(k)];
+      if (side[static_cast<std::size_t>(u)] !=
+          side[static_cast<std::size_t>(v)])
+        ++cutdeg[static_cast<std::size_t>(v)];
+    }
+  // Greedy cover: repeatedly take the vertex covering the most uncovered
+  // cut edges. Vertices in the cover become separator (side = 2).
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return cutdeg[static_cast<std::size_t>(a)] >
+           cutdeg[static_cast<std::size_t>(b)];
+  });
+  for (int v : order) {
+    if (cutdeg[static_cast<std::size_t>(v)] <= 0) continue;
+    bool uncovered = false;
+    for (int k = g.ptr()[static_cast<std::size_t>(v)];
+         k < g.ptr()[static_cast<std::size_t>(v) + 1] && !uncovered; ++k) {
+      const int u = g.adj()[static_cast<std::size_t>(k)];
+      uncovered = side[static_cast<std::size_t>(u)] != 2 &&
+                  side[static_cast<std::size_t>(u)] !=
+                      side[static_cast<std::size_t>(v)];
+    }
+    if (!uncovered) continue;
+    side[static_cast<std::size_t>(v)] = 2;
+    ++out.sep_vertices;
+  }
+}
+
+Bisection bisect_recursive(const Graph& g, Rng& rng,
+                           const BisectOptions& opts) {
+  Bisection out;
+  const int n = g.num_vertices();
+  if (n <= opts.coarsen_to) {
+    initial_partition(g, rng, out.side, opts.balance);
+    for (int p = 0; p < opts.fm_passes; ++p)
+      if (fm_pass(g, out.side, opts.balance) <= 0) break;
+    return out;
+  }
+  std::vector<int> match;
+  const int coarse_n = heavy_edge_matching(g, rng, match);
+  if (coarse_n >= n) {  // matching failed to shrink (no edges): direct
+    initial_partition(g, rng, out.side, opts.balance);
+    return out;
+  }
+  std::vector<int> cmap;
+  const Graph cg = coarsen(g, match, cmap, coarse_n);
+  const Bisection coarse_bis = bisect_recursive(cg, rng, opts);
+  out.side.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    out.side[static_cast<std::size_t>(v)] =
+        coarse_bis.side[static_cast<std::size_t>(
+            cmap[static_cast<std::size_t>(v)])];
+  for (int p = 0; p < opts.fm_passes; ++p)
+    if (fm_pass(g, out.side, opts.balance) <= 0) break;
+  return out;
+}
+
+}  // namespace
+
+std::int64_t edge_cut(const Graph& g, const std::vector<std::uint8_t>& side) {
+  std::int64_t cut = 0;
+  for (int v = 0; v < g.num_vertices(); ++v)
+    for (int k = g.ptr()[static_cast<std::size_t>(v)];
+         k < g.ptr()[static_cast<std::size_t>(v) + 1]; ++k) {
+      const int u = g.adj()[static_cast<std::size_t>(k)];
+      if (u > v && side[static_cast<std::size_t>(u)] != 2 &&
+          side[static_cast<std::size_t>(v)] != 2 &&
+          side[static_cast<std::size_t>(u)] !=
+              side[static_cast<std::size_t>(v)])
+        cut += g.ewgt()[static_cast<std::size_t>(k)];
+    }
+  return cut;
+}
+
+Bisection bisect(const Graph& g, const BisectOptions& opts) {
+  Rng rng(opts.seed);
+  Bisection out = bisect_recursive(g, rng, opts);
+  out.edge_cut = edge_cut(g, out.side);
+  extract_separator(g, out.side, out);
+  return out;
+}
+
+}  // namespace irrlu::ordering

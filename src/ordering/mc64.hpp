@@ -1,0 +1,33 @@
+// MC64 substitute (Duff–Koster maximum-product transversal with scaling):
+// finds a column permutation q and diagonal scalings Dr, Dc such that the
+// scaled, permuted matrix Dr * A(:, q) * Dc has all diagonal entries equal
+// to 1 in magnitude and all off-diagonal entries of magnitude <= 1 — the
+// static-pivoting preprocaution the paper's sparse solver applies before
+// restricting pivoting to the diagonal blocks (§III-A).
+//
+// Implementation: the assignment problem on costs
+//     c_ij = log(max_k |a_ik|) - log |a_ij|
+// solved by shortest augmenting paths (sparse Jonker–Volgenant with a
+// Dijkstra heap); the optimal duals yield the scalings directly.
+#pragma once
+
+#include <vector>
+
+namespace irrlu::ordering {
+
+struct Mc64Result {
+  /// q[i] = column matched to row i; permuted matrix column i is original
+  /// column q[i], placing the matched (maximum-product) entries on the
+  /// diagonal.
+  std::vector<int> col_of_row;
+  /// Row and column scalings (apply as Dr * A * Dc).
+  std::vector<double> dr, dc;
+  bool structurally_nonsingular = true;
+};
+
+/// Runs the matching + scaling on a square CSR matrix (pattern ptr/ind,
+/// values val). Zero entries are treated as structural zeros.
+Mc64Result mc64_scaling(int n, const int* ptr, const int* ind,
+                        const double* val);
+
+}  // namespace irrlu::ordering

@@ -1,0 +1,21 @@
+// Baseline: CPU batched LU in the style of MKL's getrf_batch, executed
+// under a CPU device model (dual-socket Xeon 6140 by default) — the paper's
+// CPU reference line in Figure 10. One "kernel" launch; one matrix per
+// core-slot; the list scheduler balances the irregular sizes across cores
+// exactly as an OpenMP dynamic loop would.
+#pragma once
+
+#include "gpusim/device.hpp"
+
+namespace irrlu::refbatch {
+
+/// Factors the batch in place with LAPACK-style blocked LU per matrix.
+/// `cpu` should be built from DeviceModel::xeon6140x2() (or any CPU-like
+/// model). Same array conventions as the irr* kernels.
+template <typename T>
+void cpu_getrf_batch(gpusim::Device& cpu, gpusim::Stream& stream,
+                     T* const* dA_array, const int* ldda, const int* m_vec,
+                     const int* n_vec, int* const* ipiv_array,
+                     int* info_array, int batch_size);
+
+}  // namespace irrlu::refbatch

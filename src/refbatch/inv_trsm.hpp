@@ -1,0 +1,29 @@
+// Baseline: the MAGMA-2.6.1-style variable-batch triangular solve the
+// paper's irrTRSM improves upon (§IV-D, Figure 6). Characteristics the
+// paper calls out, all reproduced here:
+//  - the diagonal blocks of T are *explicitly inverted* so the sweep runs
+//    on GEMMs — numerically worse than substitution (larger backward
+//    error);
+//  - the solve is performed *out of place* into a workspace, followed by a
+//    copy back into B — extra memory traffic and workspace management that
+//    dominate at small sizes (the NVIDIA-profiler observation in the
+//    paper).
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "lapack/types.hpp"
+
+namespace irrlu::refbatch {
+
+/// Solves T[id] X = B[id] in place over the batch (Side::Left only, as in
+/// the LU use case), via explicit inversion of 32x32 diagonal blocks, an
+/// out-of-place GEMM sweep, and a final copy. m is the largest triangle
+/// order, n the largest right-hand-side count; m_vec/n_vec the local dims.
+template <typename T>
+void inv_trsm(gpusim::Device& dev, gpusim::Stream& stream, la::Uplo uplo,
+              la::Trans trans, la::Diag diag, int m, int n,
+              T const* const* dT_array, const int* lddt, T* const* dB_array,
+              const int* lddb, const int* m_vec, const int* n_vec,
+              int batch_size);
+
+}  // namespace irrlu::refbatch

@@ -1,0 +1,68 @@
+// Compressed-sparse-row matrix and the permutation/scaling transforms the
+// direct solver pipeline needs (§III-A: P (Dr A Dc Q) P^T = L U).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace irrlu::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(int n, std::vector<int> ptr, std::vector<int> ind,
+            std::vector<double> val)
+      : n_(n), ptr_(std::move(ptr)), ind_(std::move(ind)),
+        val_(std::move(val)) {
+    IRRLU_CHECK(static_cast<int>(ptr_.size()) == n_ + 1);
+    IRRLU_CHECK(ind_.size() == val_.size());
+  }
+
+  /// Builds from unordered (row, col, value) triplets; duplicates are
+  /// summed.
+  static CsrMatrix from_triplets(
+      int n, const std::vector<std::tuple<int, int, double>>& triplets);
+
+  int rows() const { return n_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(ind_.size()); }
+  const std::vector<int>& ptr() const { return ptr_; }
+  const std::vector<int>& ind() const { return ind_; }
+  const std::vector<double>& val() const { return val_; }
+  std::vector<double>& val() { return val_; }
+
+  /// y = A x.
+  void multiply(const double* x, double* y) const;
+
+  /// Relative residual ||b - A x||_inf / (||A||_inf ||x||_inf + ||b||_inf).
+  double residual(const double* x, const double* b) const;
+
+  double norm_inf() const;
+
+  /// Returns Dr * A * Dc (diagonal scalings).
+  CsrMatrix scaled(const std::vector<double>& dr,
+                   const std::vector<double>& dc) const;
+
+  /// Returns A(:, q): column j of the result is column q[j] of A.
+  CsrMatrix permute_columns(const std::vector<int>& q) const;
+
+  /// Returns P A P^T where new index i corresponds to old index perm[i]
+  /// (i.e. result(i, j) = A(perm[i], perm[j])).
+  CsrMatrix permute_symmetric(const std::vector<int>& perm) const;
+
+  /// Entry lookup (binary search within the row); 0 if not present.
+  double at(int i, int j) const;
+
+ private:
+  int n_ = 0;
+  std::vector<int> ptr_, ind_;
+  std::vector<double> val_;
+};
+
+/// 5-point (2D) / 7-point (3D) Laplacian with an optional diagonal shift
+/// (negative shift => indefinite Helmholtz-like operator). Handy model
+/// problems for the solver tests and benchmarks.
+CsrMatrix laplacian2d(int nx, int ny, double shift = 0.0);
+CsrMatrix laplacian3d(int nx, int ny, int nz, double shift = 0.0);
+
+}  // namespace irrlu::sparse

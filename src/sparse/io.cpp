@@ -1,0 +1,94 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace irrlu::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  IRRLU_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  IRRLU_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  IRRLU_CHECK_MSG(lower(object) == "matrix" && lower(format) == "coordinate",
+                  "only 'matrix coordinate' files are supported");
+  const std::string f = lower(field);
+  IRRLU_CHECK_MSG(f == "real" || f == "integer" || f == "pattern",
+                  "unsupported field type '" << field << "'");
+  const std::string sym = lower(symmetry);
+  IRRLU_CHECK_MSG(sym == "general" || sym == "symmetric" ||
+                      sym == "skew-symmetric",
+                  "unsupported symmetry '" << symmetry << "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  IRRLU_CHECK_MSG(rows > 0 && rows == cols,
+                  "only square matrices are supported (got "
+                      << rows << "x" << cols << ")");
+
+  std::vector<std::tuple<int, int, double>> t;
+  t.reserve(static_cast<std::size_t>(nnz));
+  for (long e = 0; e < nnz; ++e) {
+    long i = 0, j = 0;
+    double v = 1.0;
+    IRRLU_CHECK_MSG(in >> i >> j, "truncated entry list at entry " << e);
+    if (f != "pattern") IRRLU_CHECK_MSG(static_cast<bool>(in >> v),
+                                        "missing value at entry " << e);
+    IRRLU_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                    "index out of range at entry " << e);
+    t.emplace_back(static_cast<int>(i - 1), static_cast<int>(j - 1), v);
+    if (sym != "general" && i != j)
+      t.emplace_back(static_cast<int>(j - 1), static_cast<int>(i - 1),
+                     sym == "symmetric" ? v : -v);
+  }
+  return CsrMatrix::from_triplets(static_cast<int>(rows), t);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  IRRLU_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by irrlu\n";
+  out << a.rows() << " " << a.rows() << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (int i = 0; i < a.rows(); ++i)
+    for (int k = a.ptr()[static_cast<std::size_t>(i)];
+         k < a.ptr()[static_cast<std::size_t>(i) + 1]; ++k)
+      out << i + 1 << " " << a.ind()[static_cast<std::size_t>(k)] + 1 << " "
+          << a.val()[static_cast<std::size_t>(k)] << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  IRRLU_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_matrix_market(out, a);
+}
+
+}  // namespace irrlu::sparse

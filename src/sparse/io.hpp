@@ -1,0 +1,24 @@
+// Matrix Market (coordinate format) I/O so the solver can consume external
+// matrices (SuiteSparse collection etc.) and export assembled systems.
+// Supports `matrix coordinate real general|symmetric` and pattern files
+// (pattern entries get value 1.0); symmetric inputs are expanded to full
+// storage on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace irrlu::sparse {
+
+/// Parses a Matrix Market stream. Throws irrlu::Error on malformed input
+/// or unsupported qualifiers (complex matrices, non-square sizes).
+CsrMatrix read_matrix_market(std::istream& in);
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `a` as `matrix coordinate real general` with 1-based indices.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace irrlu::sparse

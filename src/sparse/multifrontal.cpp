@@ -1,0 +1,686 @@
+#include "sparse/multifrontal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "lapack/blas.hpp"
+#include "lapack/lapack.hpp"
+
+namespace irrlu::sparse {
+
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::kBatched: return "irr-batched";
+    case Engine::kLooped: return "naive-loop";
+    case Engine::kLegacySmallBatch: return "legacy-small-batch";
+    case Engine::kRightLooking: return "right-looking";
+  }
+  return "?";
+}
+
+const char* to_string(MemoryMode m) {
+  switch (m) {
+    case MemoryMode::kAllUpfront: return "all-upfront";
+    case MemoryMode::kStackedLevels: return "stacked-levels";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Working storage for the square fronts, in either memory discipline.
+/// base(f) is valid while f's level is live.
+class FrontStorage {
+ public:
+  FrontStorage(gpusim::Device& dev, const SymbolicAnalysis& sym,
+               MemoryMode mode)
+      : dev_(dev), sym_(sym), mode_(mode) {
+    const auto nf = sym.fronts.size();
+    offset_.resize(nf);
+    level_elems_.assign(sym.levels.size(), 0);
+    std::vector<std::size_t> level_fill(sym.levels.size(), 0);
+    for (std::size_t fi = 0; fi < nf; ++fi) {
+      const auto lvl = static_cast<std::size_t>(sym.fronts[fi].level);
+      const auto elems = static_cast<std::size_t>(sym.fronts[fi].dim()) *
+                         static_cast<std::size_t>(sym.fronts[fi].dim());
+      offset_[fi] = level_fill[lvl];
+      level_fill[lvl] += elems;
+      level_elems_[lvl] += elems;
+    }
+    buffers_.resize(sym.levels.size());
+    if (mode_ == MemoryMode::kAllUpfront)
+      for (std::size_t lvl = 0; lvl < buffers_.size(); ++lvl)
+        ensure_level(static_cast<int>(lvl));
+  }
+
+  void ensure_level(int lvl) {
+    auto& buf = buffers_[static_cast<std::size_t>(lvl)];
+    if (buf.data() == nullptr &&
+        level_elems_[static_cast<std::size_t>(lvl)] > 0)
+      buf = dev_.alloc<double>(level_elems_[static_cast<std::size_t>(lvl)]);
+  }
+
+  void release_level(int lvl) {
+    if (mode_ == MemoryMode::kStackedLevels)
+      buffers_[static_cast<std::size_t>(lvl)].release();
+  }
+
+  double* base(int f) const {
+    const auto lvl =
+        static_cast<std::size_t>(sym_.fronts[static_cast<std::size_t>(f)]
+                                     .level);
+    IRRLU_DEBUG_ASSERT(buffers_[lvl].data() != nullptr ||
+                       offset_[static_cast<std::size_t>(f)] == 0);
+    return buffers_[lvl].data() + offset_[static_cast<std::size_t>(f)];
+  }
+
+ private:
+  gpusim::Device& dev_;
+  const SymbolicAnalysis& sym_;
+  MemoryMode mode_;
+  std::vector<std::size_t> offset_;       ///< within the level buffer
+  std::vector<std::size_t> level_elems_;  ///< elements per level
+  std::vector<gpusim::DeviceBuffer<double>> buffers_;
+};
+
+/// Device-resident descriptor arrays for a group of fronts (the per-level
+/// setup STRUMPACK performs once per batch; not per computational step).
+struct FrontGroup {
+  int count = 0;
+  int smax = 0, umax = 0;
+  std::vector<int> ids;
+  gpusim::DeviceBuffer<double*> f, f12, f21, f22;
+  gpusim::DeviceBuffer<int> ld, svec, uvec;
+  gpusim::DeviceBuffer<int*> ipiv;
+  gpusim::DeviceBuffer<int> info;
+
+  FrontGroup(gpusim::Device& dev, const SymbolicAnalysis& sym,
+             const std::vector<int>& group_ids, const FrontStorage& storage,
+             const std::vector<std::size_t>& ipiv_offset, int* ipiv_storage)
+      : ids(group_ids) {
+    count = static_cast<int>(ids.size());
+    const auto n = static_cast<std::size_t>(count);
+    f = dev.alloc<double*>(n);
+    f12 = dev.alloc<double*>(n);
+    f21 = dev.alloc<double*>(n);
+    f22 = dev.alloc<double*>(n);
+    ld = dev.alloc<int>(n);
+    svec = dev.alloc<int>(n);
+    uvec = dev.alloc<int>(n);
+    ipiv = dev.alloc<int*>(n);
+    info = dev.alloc<int>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Front& fr = sym.fronts[static_cast<std::size_t>(ids[k])];
+      double* base = storage.base(ids[k]);
+      const int d = fr.dim();
+      const int s = fr.s();
+      f[k] = base;
+      f12[k] = base + static_cast<std::ptrdiff_t>(s) * d;
+      f21[k] = base + s;
+      f22[k] = base + static_cast<std::ptrdiff_t>(s) * d + s;
+      ld[k] = d > 0 ? d : 1;
+      svec[k] = s;
+      uvec[k] = fr.u();
+      ipiv[k] = ipiv_storage + ipiv_offset[static_cast<std::size_t>(ids[k])];
+      info[k] = 0;
+      smax = std::max(smax, s);
+      umax = std::max(umax, fr.u());
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t MultifrontalFactor::factor_bytes() const {
+  return factor_store_.size() * sizeof(double) +
+         ipiv_storage_.size() * sizeof(int);
+}
+
+MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
+                                       const CsrMatrix& a_perm,
+                                       const SymbolicAnalysis& sym,
+                                       const FactorOptions& opts)
+    : dev_(dev), sym_(sym) {
+  const auto nf = sym.fronts.size();
+  // The stacked discipline relies on the strictly level-by-level gather of
+  // the batched engine; baselines fall back to the upfront discipline.
+  const MemoryMode mode = opts.engine == Engine::kBatched
+                              ? opts.memory
+                              : MemoryMode::kAllUpfront;
+
+  // Compact factor store: L11\U11 (s x s) + U12 (s x u) + L21 (u x s).
+  fstore_offset_.resize(nf);
+  ipiv_offset_.resize(nf);
+  std::size_t felems = 0, pivots = 0;
+  for (std::size_t i = 0; i < nf; ++i) {
+    fstore_offset_[i] = felems;
+    ipiv_offset_[i] = pivots;
+    const auto s = static_cast<std::size_t>(sym.fronts[i].s());
+    const auto u = static_cast<std::size_t>(sym.fronts[i].u());
+    felems += s * s + 2 * s * u;
+    pivots += s;
+  }
+  factor_store_ = dev.alloc<double>(felems);
+  ipiv_storage_ = dev.alloc<int>(pivots);
+
+  // Flattened update index lists (needed by the device-side solve).
+  upd_offset_.resize(nf);
+  std::size_t upd_total = 0;
+  for (std::size_t i = 0; i < nf; ++i) {
+    upd_offset_[i] = upd_total;
+    upd_total += sym.fronts[i].upd.size();
+  }
+  upd_storage_ = dev.alloc<int>(upd_total);
+  for (std::size_t i = 0; i < nf; ++i)
+    std::copy(sym.fronts[i].upd.begin(), sym.fronts[i].upd.end(),
+              upd_storage_.data() + upd_offset_[i]);
+
+  const double t0 = dev.host_time();
+  const long l0 = dev.launch_count();
+  const long s0 = dev.sync_count();
+  const double w0 = dev.sync_wait_seconds();
+  const std::size_t peak0 = dev.peak_bytes();
+  auto& stream = dev.stream();
+
+  FrontStorage storage(dev, sym, mode);
+
+  // ---- one-time setup: owner maps and assembly lists -----------------
+  const int n = a_perm.rows();
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  for (std::size_t fi = 0; fi < nf; ++fi)
+    for (int g = sym.fronts[fi].sep_begin; g < sym.fronts[fi].sep_end; ++g)
+      owner[static_cast<std::size_t>(g)] = static_cast<int>(fi);
+
+  auto local_of = [&](const Front& fr, int g) {
+    if (g >= fr.sep_begin && g < fr.sep_end) return g - fr.sep_begin;
+    const auto it = std::lower_bound(fr.upd.begin(), fr.upd.end(), g);
+    IRRLU_CHECK(it != fr.upd.end() && *it == g);
+    return fr.s() + static_cast<int>(it - fr.upd.begin());
+  };
+
+  // Flattened (front -> entries) assembly triples.
+  std::vector<std::vector<int>> rows_of(nf), cols_of(nf), aidx_of(nf);
+  for (int i = 0; i < n; ++i)
+    for (int k = a_perm.ptr()[static_cast<std::size_t>(i)];
+         k < a_perm.ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = a_perm.ind()[static_cast<std::size_t>(k)];
+      const int fo = owner[static_cast<std::size_t>(std::min(i, j))];
+      const Front& fr = sym.fronts[static_cast<std::size_t>(fo)];
+      rows_of[static_cast<std::size_t>(fo)].push_back(local_of(fr, i));
+      cols_of[static_cast<std::size_t>(fo)].push_back(local_of(fr, j));
+      aidx_of[static_cast<std::size_t>(fo)].push_back(k);
+    }
+  std::vector<int> asm_start(nf + 1, 0);
+  for (std::size_t fi = 0; fi < nf; ++fi)
+    asm_start[fi + 1] = asm_start[fi] + static_cast<int>(rows_of[fi].size());
+  auto d_rows = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+  auto d_cols = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+  auto d_aidx = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+  for (std::size_t fi = 0, o = 0; fi < nf; ++fi)
+    for (std::size_t e = 0; e < rows_of[fi].size(); ++e, ++o) {
+      d_rows[o] = rows_of[fi][e];
+      d_cols[o] = cols_of[fi][e];
+      d_aidx[o] = aidx_of[fi][e];
+    }
+  auto d_aval = dev.alloc<double>(a_perm.val().size());
+  std::copy(a_perm.val().begin(), a_perm.val().end(), d_aval.data());
+
+  // Scatter maps: this front's upd positions inside the parent.
+  std::vector<int> scat_start(nf + 1, 0);
+  for (std::size_t fi = 0; fi < nf; ++fi)
+    scat_start[fi + 1] =
+        scat_start[fi] +
+        (sym.fronts[fi].parent >= 0 ? sym.fronts[fi].u() : 0);
+  auto d_scat = dev.alloc<int>(static_cast<std::size_t>(scat_start[nf]));
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    const Front& fr = sym.fronts[fi];
+    if (fr.parent < 0) continue;
+    IRRLU_CHECK(static_cast<int>(fr.parent_map.size()) == fr.u());
+    for (std::size_t e = 0; e < fr.parent_map.size(); ++e)
+      d_scat[static_cast<std::size_t>(scat_start[fi]) + e] =
+          fr.parent_map[e];
+  }
+  const int* smap = d_scat.data();
+
+  // ---- reusable per-group kernels --------------------------------------
+  const int* astart_host = asm_start.data();
+  (void)astart_host;
+
+  // Zero + assemble-from-A the given fronts (their storage must be live).
+  auto assemble = [&](const std::vector<int>& ids) {
+    if (ids.empty()) return;
+    struct Meta {
+      double* base;
+      int dim, a0, a1;
+    };
+    auto metas = std::make_shared<std::vector<Meta>>();
+    for (int id : ids)
+      metas->push_back({storage.base(id),
+                        sym.fronts[static_cast<std::size_t>(id)].dim(),
+                        asm_start[static_cast<std::size_t>(id)],
+                        asm_start[static_cast<std::size_t>(id) + 1]});
+    const int* arows = d_rows.data();
+    const int* acols = d_cols.data();
+    const int* aidx = d_aidx.data();
+    const double* aval = d_aval.data();
+    dev.launch(stream, {"mf_assemble", static_cast<int>(metas->size()), 0},
+               [metas, arows, acols, aidx, aval](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      const int ld = m.dim > 0 ? m.dim : 1;
+      std::fill(m.base, m.base + static_cast<std::size_t>(m.dim) * m.dim,
+                0.0);
+      for (int e = m.a0; e < m.a1; ++e)
+        m.base[static_cast<std::ptrdiff_t>(acols[e]) * ld + arows[e]] +=
+            aval[aidx[e]];
+      ctx.record(0.0, (static_cast<double>(m.dim) * m.dim +
+                       3.0 * (m.a1 - m.a0)) *
+                          sizeof(double));
+    });
+  };
+
+  // Extend-add: absorb the children's Schur complements into the given
+  // (parent) fronts. Child storage must still be live.
+  auto gather_children = [&](const std::vector<int>& ids) {
+    struct Meta {
+      const double* child;
+      double* parent;
+      int u, ldc, ldp, map_off;
+    };
+    auto metas = std::make_shared<std::vector<Meta>>();
+    for (int id : ids) {
+      const Front& p = sym.fronts[static_cast<std::size_t>(id)];
+      for (int child : p.children) {
+        const Front& c = sym.fronts[static_cast<std::size_t>(child)];
+        if (c.u() == 0) continue;
+        metas->push_back(
+            {storage.base(child) +
+                 static_cast<std::ptrdiff_t>(c.s()) * c.dim() + c.s(),
+             storage.base(id), c.u(), c.dim(), p.dim() > 0 ? p.dim() : 1,
+             scat_start[static_cast<std::size_t>(child)]});
+      }
+    }
+    if (metas->empty()) return;
+    dev.launch(stream,
+               {"mf_extend_add", static_cast<int>(metas->size()), 0},
+               [metas, smap](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      const int* map = smap + m.map_off;
+      for (int c = 0; c < m.u; ++c)
+        for (int r = 0; r < m.u; ++r)
+          m.parent[static_cast<std::ptrdiff_t>(map[c]) * m.ldp + map[r]] +=
+              m.child[static_cast<std::ptrdiff_t>(c) * m.ldc + r];
+      // Scattered writes: penalized traffic on the parent side.
+      ctx.record(static_cast<double>(m.u) * m.u,
+                 5.0 * m.u * m.u * sizeof(double));
+    });
+  };
+
+  // Copy the factored blocks of the given fronts into the compact store.
+  auto extract_factors = [&](const std::vector<int>& ids) {
+    if (ids.empty()) return;
+    struct Meta {
+      const double* base;
+      double* out;
+      int s, u, ld;
+    };
+    auto metas = std::make_shared<std::vector<Meta>>();
+    for (int id : ids) {
+      const Front& fr = sym.fronts[static_cast<std::size_t>(id)];
+      if (fr.s() == 0) continue;
+      metas->push_back({storage.base(id),
+                        factor_store_.data() +
+                            fstore_offset_[static_cast<std::size_t>(id)],
+                        fr.s(), fr.u(), fr.dim()});
+    }
+    if (metas->empty()) return;
+    dev.launch(stream,
+               {"mf_extract", static_cast<int>(metas->size()), 0},
+               [metas](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      double* out = m.out;
+      // L11\U11: s x s, ld s.
+      for (int c = 0; c < m.s; ++c)
+        for (int r = 0; r < m.s; ++r)
+          *out++ = m.base[static_cast<std::ptrdiff_t>(c) * m.ld + r];
+      // U12: s x u, ld s.
+      for (int c = 0; c < m.u; ++c)
+        for (int r = 0; r < m.s; ++r)
+          *out++ =
+              m.base[static_cast<std::ptrdiff_t>(m.s + c) * m.ld + r];
+      // L21: u x s, ld u.
+      for (int c = 0; c < m.s; ++c)
+        for (int r = 0; r < m.u; ++r)
+          *out++ =
+              m.base[static_cast<std::ptrdiff_t>(c) * m.ld + m.s + r];
+      const double elems =
+          static_cast<double>(m.s) * (m.s + 2.0 * m.u);
+      ctx.record(0.0, 2.0 * elems * sizeof(double));
+    });
+  };
+
+  // ---- factorization workspaces (allocated once: fully async driver) --
+  // One workspace pair per stream, so multi-stream level processing does
+  // not race on them.
+  const int num_streams =
+      opts.engine == Engine::kBatched ? std::max(1, opts.num_streams) : 1;
+  int max_batch = 1;
+  for (const auto& lv : sym.levels)
+    max_batch = std::max(max_batch, static_cast<int>(lv.size()));
+  const int nb = std::max(1, opts.lu.nb);
+  std::vector<gpusim::DeviceBuffer<int>> kmin_ws, laswp_ws;
+  std::vector<batch::IrrLuOptions> lu_opts_of(
+      static_cast<std::size_t>(num_streams), opts.lu);
+  for (int s = 0; s < num_streams; ++s) {
+    kmin_ws.push_back(dev.alloc<int>(static_cast<std::size_t>(max_batch)));
+    laswp_ws.push_back(
+        dev.alloc<int>(batch::irr_laswp_workspace_size(max_batch, nb)));
+    lu_opts_of[static_cast<std::size_t>(s)].kmin_workspace =
+        kmin_ws.back().data();
+    lu_opts_of[static_cast<std::size_t>(s)].laswp_workspace =
+        laswp_ws.back().data();
+  }
+  const batch::IrrLuOptions& lu_opts = lu_opts_of[0];
+
+  std::vector<std::unique_ptr<FrontGroup>> groups;  // keep alive
+
+  // Factors one group of fronts as a single irregular batch on the given
+  // stream.
+  auto factor_group_on = [&](const FrontGroup& g, gpusim::Stream& stream,
+                             const batch::IrrLuOptions& lu_opts) {
+    if (g.count == 0 || g.smax == 0) return;
+    batch::irr_getrf<double>(dev, stream, g.smax, g.smax, g.f.data(),
+                             g.ld.data(), 0, 0, g.svec.data(), g.svec.data(),
+                             g.ipiv.data(), g.info.data(), g.count, lu_opts);
+    if (g.umax > 0) {
+      batch::irr_laswp_range<double>(
+          dev, stream, 0, g.smax, g.umax, g.f12.data(), g.ld.data(), 0,
+          g.svec.data(), g.uvec.data(),
+          const_cast<int const* const*>(g.ipiv.data()), g.count);
+      batch::irr_trsm<double>(
+          dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::No,
+          la::Diag::Unit, g.smax, g.umax, 1.0,
+          const_cast<double const* const*>(g.f.data()), g.ld.data(), 0, 0,
+          g.f12.data(), g.ld.data(), 0, 0, g.svec.data(), g.uvec.data(),
+          g.count);
+      batch::irr_trsm<double>(
+          dev, stream, la::Side::Right, la::Uplo::Upper, la::Trans::No,
+          la::Diag::NonUnit, g.umax, g.smax, 1.0,
+          const_cast<double const* const*>(g.f.data()), g.ld.data(), 0, 0,
+          g.f21.data(), g.ld.data(), 0, 0, g.uvec.data(), g.svec.data(),
+          g.count);
+      batch::irr_gemm<double>(
+          dev, stream, la::Trans::No, la::Trans::No, g.umax, g.umax, g.smax,
+          -1.0, const_cast<double const* const*>(g.f21.data()), g.ld.data(),
+          0, 0, const_cast<double const* const*>(g.f12.data()), g.ld.data(),
+          0, 0, 1.0, g.f22.data(), g.ld.data(), 0, 0, g.uvec.data(),
+          g.uvec.data(), g.svec.data(), g.count);
+    }
+  };
+
+  auto factor_group = [&](const FrontGroup& g) {
+    factor_group_on(g, stream, lu_opts);
+  };
+
+  auto make_group = [&](const std::vector<int>& ids) -> FrontGroup& {
+    groups.push_back(std::make_unique<FrontGroup>(
+        dev, sym, ids, storage, ipiv_offset_, ipiv_storage_.data()));
+    return *groups.back();
+  };
+
+  // ---- the schedules ---------------------------------------------------
+  switch (opts.engine) {
+    case Engine::kBatched: {
+      const int deepest = static_cast<int>(sym.levels.size()) - 1;
+      for (int lvl = deepest; lvl >= 0; --lvl) {
+        const auto& ids = sym.levels[static_cast<std::size_t>(lvl)];
+        if (ids.empty()) continue;
+        storage.ensure_level(lvl);
+        assemble(ids);
+        gather_children(ids);
+        std::vector<int> small_ids, large_ids;
+        for (int id : ids) {
+          const Front& fr = sym.fronts[static_cast<std::size_t>(id)];
+          if (opts.hybrid_gemm_threshold > 0 &&
+              fr.dim() > opts.hybrid_gemm_threshold)
+            large_ids.push_back(id);
+          else
+            small_ids.push_back(id);
+        }
+        if (num_streams == 1) {
+          if (!small_ids.empty()) factor_group(make_group(small_ids));
+          // Figure-14 hybrid: very large fronts as dedicated launches.
+          for (int id : large_ids) factor_group(make_group({id}));
+        } else {
+          // Multi-stream level processing: the level's independent fronts
+          // split round-robin across streams; events fence the assembly
+          // before and the extraction after.
+          const gpusim::Event ready = dev.record(stream);
+          std::vector<std::vector<int>> parts(
+              static_cast<std::size_t>(num_streams));
+          int turn = 0;
+          for (int id : small_ids)
+            parts[static_cast<std::size_t>(turn++ % num_streams)]
+                .push_back(id);
+          for (int s = 0; s < num_streams; ++s) {
+            const auto& part = parts[static_cast<std::size_t>(s)];
+            if (part.empty()) continue;
+            auto& st = dev.stream(s);
+            if (s != 0) dev.wait(st, ready);
+            factor_group_on(make_group(part), st,
+                            lu_opts_of[static_cast<std::size_t>(s)]);
+          }
+          int lturn = 0;
+          for (int id : large_ids) {
+            const int s = lturn++ % num_streams;
+            auto& st = dev.stream(s);
+            if (s != 0) dev.wait(st, ready);
+            factor_group_on(make_group({id}), st,
+                            lu_opts_of[static_cast<std::size_t>(s)]);
+          }
+          for (int s = 1; s < num_streams; ++s)
+            dev.wait(stream, dev.record(dev.stream(s)));
+        }
+        extract_factors(ids);
+        if (lvl < deepest) storage.release_level(lvl + 1);
+      }
+      storage.release_level(0);
+      break;
+    }
+    case Engine::kLooped:
+    case Engine::kRightLooking: {
+      // Postorder per-front chains; scatter to the parent right after each
+      // front (the right-looking engine also synchronizes per supernode).
+      for (std::size_t fi = 0; fi < nf; ++fi) {
+        const int id = static_cast<int>(fi);
+        assemble({id});
+        gather_children({id});
+        factor_group(make_group({id}));
+        if (opts.engine == Engine::kRightLooking) dev.synchronize(stream);
+      }
+      std::vector<int> all_ids(nf);
+      for (std::size_t fi = 0; fi < nf; ++fi)
+        all_ids[fi] = static_cast<int>(fi);
+      extract_factors(all_ids);
+      break;
+    }
+    case Engine::kLegacySmallBatch: {
+      for (int lvl = static_cast<int>(sym.levels.size()) - 1; lvl >= 0;
+           --lvl) {
+        const auto& ids = sym.levels[static_cast<std::size_t>(lvl)];
+        if (ids.empty()) continue;
+        assemble(ids);
+        gather_children(ids);
+        std::vector<int> tiny, rest;
+        for (int id : ids)
+          (sym.fronts[static_cast<std::size_t>(id)].dim() < 32 ? tiny : rest)
+              .push_back(id);
+        if (!tiny.empty()) {
+          factor_group(make_group(tiny));
+          dev.synchronize(stream);  // v6.3.1-style per-batch sync
+        }
+        for (int id : rest) {
+          factor_group(make_group({id}));
+          dev.synchronize(stream);
+        }
+        extract_factors(ids);
+        dev.synchronize(stream);
+      }
+      break;
+    }
+  }
+
+  const double t1 = dev.synchronize_all();
+  factor_seconds_ = t1 - t0;
+  launches_ = dev.launch_count() - l0;
+  syncs_ = dev.sync_count() - s0;
+  sync_wait_ = dev.sync_wait_seconds() - w0;
+  peak_bytes_ = dev.peak_bytes() - peak0 + factor_bytes();
+
+  // Zero-pivot reports land in whichever group factored the front.
+  for (const auto& g : groups)
+    for (int k = 0; k < g->count; ++k)
+      if (g->info[static_cast<std::size_t>(k)] != 0) ok_ = false;
+}
+
+void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
+  const int n = static_cast<int>(x.size());
+  auto dx = dev_.alloc<double>(static_cast<std::size_t>(n));
+  std::copy(x.begin(), x.end(), dx.data());
+  double* xd = dx.data();
+  auto& stream = dev_.stream();
+
+  struct Meta {
+    const double* f11;
+    const double* off;  ///< L21 (forward) or U12 (backward)
+    const int* piv;
+    const int* upd;
+    int s, u, sep_begin;
+  };
+
+  auto level_metas = [&](int lvl, bool forward) {
+    auto metas = std::make_shared<std::vector<Meta>>();
+    for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+      const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+      if (fr.s() == 0) continue;
+      metas->push_back({f11(id), forward ? l21(id) : u12(id),
+                        front_ipiv(id),
+                        upd_storage_.data() +
+                            upd_offset_[static_cast<std::size_t>(id)],
+                        fr.s(), fr.u(), fr.sep_begin});
+    }
+    return metas;
+  };
+
+  // Forward sweep, leaves to root: x_s <- L11^{-1} P x_s;
+  // x[upd] -= L21 x_s.
+  for (int lvl = static_cast<int>(sym_.levels.size()) - 1; lvl >= 0;
+       --lvl) {
+    auto metas = level_metas(lvl, /*forward=*/true);
+    if (metas->empty()) continue;
+    dev_.launch(stream, {"mf_solve_fwd", static_cast<int>(metas->size()), 0},
+                [metas, xd](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      double* xs = xd + m.sep_begin;  // contiguous separator range
+      for (int r = 0; r < m.s; ++r)
+        if (m.piv[r] != r) std::swap(xs[r], xs[m.piv[r]]);
+      la::trsv(la::Uplo::Lower, la::Trans::No, la::Diag::Unit, m.s, m.f11,
+               m.s, xs, 1);
+      for (int k = 0; k < m.u; ++k) {
+        double acc = 0;
+        for (int r = 0; r < m.s; ++r)
+          acc += m.off[static_cast<std::ptrdiff_t>(r) * m.u + k] * xs[r];
+        xd[m.upd[k]] -= acc;  // scatter (atomics on real hardware)
+      }
+      ctx.record(static_cast<double>(m.s) * m.s + 2.0 * m.s * m.u,
+                 (static_cast<double>(m.s) * (m.s / 2.0 + m.u) + 2.0 * m.u +
+                  2.0 * m.s) *
+                     sizeof(double));
+    });
+  }
+  // Backward sweep, root to leaves: x_s <- U11^{-1}(x_s - U12 x[upd]).
+  for (std::size_t lvl = 0; lvl < sym_.levels.size(); ++lvl) {
+    auto metas = level_metas(static_cast<int>(lvl), /*forward=*/false);
+    if (metas->empty()) continue;
+    dev_.launch(stream, {"mf_solve_bwd", static_cast<int>(metas->size()), 0},
+                [metas, xd](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      double* xs = xd + m.sep_begin;
+      for (int k = 0; k < m.u; ++k) {
+        const double xu = xd[m.upd[k]];
+        if (xu == 0.0) continue;
+        for (int r = 0; r < m.s; ++r)
+          xs[r] -= m.off[static_cast<std::ptrdiff_t>(k) * m.s + r] * xu;
+      }
+      la::trsv(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, m.s,
+               m.f11, m.s, xs, 1);
+      ctx.record(static_cast<double>(m.s) * m.s + 2.0 * m.s * m.u,
+                 (static_cast<double>(m.s) * (m.s / 2.0 + m.u) + 2.0 * m.u +
+                  2.0 * m.s) *
+                     sizeof(double));
+    });
+  }
+  dev_.synchronize(stream);
+  std::copy(dx.data(), dx.data() + n, x.begin());
+}
+
+void MultifrontalFactor::solve(std::vector<double>& x) const {
+  const auto nf = sym_.fronts.size();
+  std::vector<double> xs, xu;
+  // Forward sweep (children before parents — the fronts are in postorder).
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    const Front& fr = sym_.fronts[fi];
+    const int s = fr.s(), u = fr.u();
+    if (s == 0) continue;
+    const double* F11 = f11(static_cast<int>(fi));
+    const double* L21 = l21(static_cast<int>(fi));
+    xs.assign(static_cast<std::size_t>(s), 0.0);
+    for (int r = 0; r < s; ++r)
+      xs[static_cast<std::size_t>(r)] =
+          x[static_cast<std::size_t>(fr.sep_begin + r)];
+    const int* piv = front_ipiv(static_cast<int>(fi));
+    for (int r = 0; r < s; ++r)
+      if (piv[r] != r)
+        std::swap(xs[static_cast<std::size_t>(r)],
+                  xs[static_cast<std::size_t>(piv[r])]);
+    la::trsv(la::Uplo::Lower, la::Trans::No, la::Diag::Unit, s, F11, s,
+             xs.data(), 1);
+    for (int k = 0; k < u; ++k) {
+      double acc = 0;
+      for (int r = 0; r < s; ++r)
+        acc += L21[static_cast<std::ptrdiff_t>(r) * u + k] *
+               xs[static_cast<std::size_t>(r)];
+      x[static_cast<std::size_t>(fr.upd[static_cast<std::size_t>(k)])] -= acc;
+    }
+    for (int r = 0; r < s; ++r)
+      x[static_cast<std::size_t>(fr.sep_begin + r)] =
+          xs[static_cast<std::size_t>(r)];
+  }
+  // Backward sweep.
+  for (std::size_t fi = nf; fi-- > 0;) {
+    const Front& fr = sym_.fronts[fi];
+    const int s = fr.s(), u = fr.u();
+    if (s == 0) continue;
+    const double* F11 = f11(static_cast<int>(fi));
+    const double* U12 = u12(static_cast<int>(fi));
+    xs.assign(static_cast<std::size_t>(s), 0.0);
+    for (int r = 0; r < s; ++r)
+      xs[static_cast<std::size_t>(r)] =
+          x[static_cast<std::size_t>(fr.sep_begin + r)];
+    if (u > 0) {
+      xu.assign(static_cast<std::size_t>(u), 0.0);
+      for (int k = 0; k < u; ++k)
+        xu[static_cast<std::size_t>(k)] =
+            x[static_cast<std::size_t>(fr.upd[static_cast<std::size_t>(k)])];
+      la::gemv(la::Trans::No, s, u, -1.0, U12, s, xu.data(), 1, 1.0,
+               xs.data(), 1);
+    }
+    la::trsv(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, s, F11, s,
+             xs.data(), 1);
+    for (int r = 0; r < s; ++r)
+      x[static_cast<std::size_t>(fr.sep_begin + r)] =
+          xs[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace irrlu::sparse

@@ -1,0 +1,161 @@
+#include "sparse/solver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ordering/graph.hpp"
+
+namespace irrlu::sparse {
+
+void SparseDirectSolver::analyze(const CsrMatrix& a) {
+  IRRLU_CHECK(a.rows() > 0);
+  a_ = a;
+  const int n = a.rows();
+
+  CsrMatrix aq = a;
+  if (opts_.use_mc64) {
+    mc64_ = ordering::mc64_scaling(n, a.ptr().data(), a.ind().data(),
+                                   a.val().data());
+    if (mc64_.structurally_nonsingular) {
+      aq = a.scaled(mc64_.dr, mc64_.dc).permute_columns(mc64_.col_of_row);
+    } else {
+      opts_.use_mc64 = false;  // fall back to the unscaled path
+    }
+  }
+  if (!opts_.use_mc64) {
+    mc64_.col_of_row.resize(static_cast<std::size_t>(n));
+    std::iota(mc64_.col_of_row.begin(), mc64_.col_of_row.end(), 0);
+    mc64_.dr.assign(static_cast<std::size_t>(n), 1.0);
+    mc64_.dc.assign(static_cast<std::size_t>(n), 1.0);
+  }
+
+  const ordering::Graph g =
+      ordering::Graph::from_pattern(n, aq.ptr().data(), aq.ind().data());
+  if (opts_.ordering == OrderingMethod::kNestedDissection) {
+    ord_ = ordering::nested_dissection(g, opts_.nd);
+    a_prep_ = aq.permute_symmetric(ord_.perm);
+    sym_ = SymbolicAnalysis::build(a_prep_, ord_);
+  } else {
+    // Elimination-tree route: any permutation works.
+    ord_ = ordering::Ordering{};
+    switch (opts_.ordering) {
+      case OrderingMethod::kMinimumDegree:
+        ord_.perm = ordering::minimum_degree(g);
+        break;
+      case OrderingMethod::kRcm:
+        ord_.perm = ordering::rcm(g);
+        break;
+      default:
+        ord_.perm.resize(static_cast<std::size_t>(n));
+        std::iota(ord_.perm.begin(), ord_.perm.end(), 0);
+        break;
+    }
+    ord_.iperm.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      ord_.iperm[static_cast<std::size_t>(
+          ord_.perm[static_cast<std::size_t>(i)])] = i;
+    a_prep_ = aq.permute_symmetric(ord_.perm);
+    sym_ = SymbolicAnalysis::build_from_etree(a_prep_);
+  }
+  analyzed_ = true;
+}
+
+void SparseDirectSolver::factor(gpusim::Device& dev) {
+  IRRLU_CHECK_MSG(analyzed_, "factor() requires analyze()");
+  factor_ =
+      std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_, opts_.factor);
+}
+
+void SparseDirectSolver::refactor(gpusim::Device& dev,
+                                  const CsrMatrix& a_new) {
+  IRRLU_CHECK_MSG(analyzed_, "refactor() requires analyze()");
+  IRRLU_CHECK_MSG(a_new.rows() == a_.rows() && a_new.nnz() == a_.nnz(),
+                  "refactor() requires the same sparsity pattern");
+  a_ = a_new;
+  const CsrMatrix aq =
+      a_new.scaled(mc64_.dr, mc64_.dc).permute_columns(mc64_.col_of_row);
+  a_prep_ = aq.permute_symmetric(ord_.perm);
+  factor_ =
+      std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_, opts_.factor);
+}
+
+std::vector<double> SparseDirectSolver::solve(
+    const std::vector<double>& b) const {
+  IRRLU_CHECK_MSG(factor_ != nullptr, "solve() requires factor()");
+  const int n = a_.rows();
+  IRRLU_CHECK(static_cast<int>(b.size()) == n);
+
+  auto solve_once = [&](const std::vector<double>& rhs) {
+    // w = P (Dr rhs); z = App^{-1} w; y = P^T z; x[q[j]] = dc[q[j]] y[j].
+    std::vector<double> w(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int oi = ord_.perm[static_cast<std::size_t>(i)];
+      w[static_cast<std::size_t>(i)] =
+          mc64_.dr[static_cast<std::size_t>(oi)] *
+          rhs[static_cast<std::size_t>(oi)];
+    }
+    if (opts_.solve_on_device)
+      factor_->solve_batched(w);
+    else
+      factor_->solve(w);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const int oj = ord_.perm[static_cast<std::size_t>(j)];  // pre-P index
+      const int col = mc64_.col_of_row[static_cast<std::size_t>(oj)];
+      x[static_cast<std::size_t>(col)] =
+          mc64_.dc[static_cast<std::size_t>(col)] *
+          w[static_cast<std::size_t>(j)];
+    }
+    return x;
+  };
+
+  std::vector<double> x = solve_once(b);
+  for (int step = 0; step < opts_.refine_steps; ++step) {
+    std::vector<double> r(static_cast<std::size_t>(n));
+    a_.multiply(x.data(), r.data());
+    for (int i = 0; i < n; ++i)
+      r[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+    const std::vector<double> dx = solve_once(r);
+    for (int i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+std::vector<std::vector<double>> SparseDirectSolver::solve(
+    const std::vector<std::vector<double>>& bs) const {
+  std::vector<std::vector<double>> xs;
+  xs.reserve(bs.size());
+  for (const auto& b : bs) xs.push_back(solve(b));
+  return xs;
+}
+
+double SparseDirectSolver::residual(const std::vector<double>& x,
+                                    const std::vector<double>& b) const {
+  return a_.residual(x.data(), b.data());
+}
+
+std::vector<LevelStats> SparseDirectSolver::level_stats() const {
+  std::vector<LevelStats> out;
+  for (std::size_t lvl = 0; lvl < sym_.levels.size(); ++lvl) {
+    const auto& ids = sym_.levels[lvl];
+    if (ids.empty()) continue;
+    LevelStats st;
+    st.level = static_cast<int>(lvl);
+    st.batch = static_cast<int>(ids.size());
+    st.min_dim = sym_.fronts[static_cast<std::size_t>(ids[0])].dim();
+    double sum = 0;
+    for (int id : ids) {
+      const int d = sym_.fronts[static_cast<std::size_t>(id)].dim();
+      st.min_dim = std::min(st.min_dim, d);
+      st.max_dim = std::max(st.max_dim, d);
+      sum += d;
+    }
+    st.avg_dim = sum / st.batch;
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace irrlu::sparse

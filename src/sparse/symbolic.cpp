@@ -1,0 +1,220 @@
+#include "sparse/symbolic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lapack/flops.hpp"
+
+namespace irrlu::sparse {
+
+namespace {
+
+/// Sorted-union of two index vectors.
+std::vector<int> merge_sorted(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Positions of each element of `sub` within the front local index space:
+/// front local indices are [0, s) for the separator range and s + k for
+/// upd[k].
+std::vector<int> local_positions(const Front& f, const std::vector<int>& sub) {
+  std::vector<int> pos(sub.size());
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    const int g = sub[i];
+    if (g >= f.sep_begin && g < f.sep_end) {
+      pos[i] = g - f.sep_begin;
+    } else {
+      const auto it = std::lower_bound(f.upd.begin(), f.upd.end(), g);
+      IRRLU_CHECK(it != f.upd.end() && *it == g);
+      pos[i] = f.s() + static_cast<int>(it - f.upd.begin());
+    }
+  }
+  return pos;
+}
+
+/// Shared finalization: parent maps, levels, and cost statistics. Assumes
+/// fronts are in postorder with `children`/`parent` links set.
+void finalize(SymbolicAnalysis& sym) {
+  // Parent scatter maps (parents come after children in postorder).
+  for (auto& f : sym.fronts)
+    for (int c : f.children)
+      sym.fronts[static_cast<std::size_t>(c)].parent_map =
+          local_positions(f, sym.fronts[static_cast<std::size_t>(c)].upd);
+
+  // Levels (depth from the roots) by a reverse sweep.
+  int max_level = 0;
+  for (std::size_t fi = sym.fronts.size(); fi-- > 0;) {
+    Front& f = sym.fronts[fi];
+    f.level = f.parent < 0
+                  ? 0
+                  : sym.fronts[static_cast<std::size_t>(f.parent)].level + 1;
+    max_level = std::max(max_level, f.level);
+  }
+  sym.levels.assign(static_cast<std::size_t>(max_level) + 1, {});
+  for (std::size_t fi = 0; fi < sym.fronts.size(); ++fi)
+    sym.levels[static_cast<std::size_t>(sym.fronts[fi].level)].push_back(
+        static_cast<int>(fi));
+
+  for (const Front& f : sym.fronts) {
+    const double s = f.s(), u = f.u();
+    sym.factor_flops += irrlu::la::getrf_flops(f.s(), f.s()) +
+                        2.0 * s * s * u + 2.0 * u * u * s;
+    sym.factor_nnz += static_cast<std::int64_t>(f.s()) * f.dim() +
+                      static_cast<std::int64_t>(f.u()) * f.s();
+    sym.front_elems +=
+        static_cast<std::int64_t>(f.dim()) * static_cast<std::int64_t>(f.dim());
+    sym.max_front_dim = std::max(sym.max_front_dim, f.dim());
+  }
+}
+
+}  // namespace
+
+SymbolicAnalysis SymbolicAnalysis::build(const CsrMatrix& a_perm,
+                                         const ordering::Ordering& ord) {
+  SymbolicAnalysis sym;
+  const auto& tree = ord.tree;
+  sym.fronts.resize(tree.size());
+  sym.root = ord.root;
+
+  // Symmetrized adjacency of the permuted pattern (fronts must cover both
+  // (i, j) and (j, i)).
+  const ordering::Graph g = ordering::Graph::from_pattern(
+      a_perm.rows(), a_perm.ptr().data(), a_perm.ind().data());
+
+  // Postorder guarantee: ordering::nested_dissection pushes children before
+  // parents, so a forward sweep visits children first.
+  for (std::size_t fi = 0; fi < tree.size(); ++fi) {
+    Front& f = sym.fronts[fi];
+    f.sep_begin = tree[fi].begin;
+    f.sep_end = tree[fi].end;
+    if (tree[fi].left >= 0) f.children.push_back(tree[fi].left);
+    if (tree[fi].right >= 0) f.children.push_back(tree[fi].right);
+    f.parent = tree[fi].parent;
+
+    // Update set: neighbors of the separator beyond it, plus the children's
+    // update sets minus what this front eliminates.
+    std::vector<int> upd;
+    for (int i = f.sep_begin; i < f.sep_end; ++i)
+      for (int k = g.ptr()[static_cast<std::size_t>(i)];
+           k < g.ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+        const int j = g.adj()[static_cast<std::size_t>(k)];
+        if (j >= f.sep_end) upd.push_back(j);
+      }
+    std::sort(upd.begin(), upd.end());
+    upd.erase(std::unique(upd.begin(), upd.end()), upd.end());
+    for (int child : f.children) {
+      const auto& cu = sym.fronts[static_cast<std::size_t>(child)].upd;
+      std::vector<int> keep;
+      keep.reserve(cu.size());
+      for (int j : cu)
+        if (j >= f.sep_end) keep.push_back(j);
+      upd = merge_sorted(upd, keep);
+    }
+    f.upd = std::move(upd);
+  }
+  finalize(sym);
+  return sym;
+}
+
+std::vector<int> elimination_tree(const CsrMatrix& a_perm) {
+  const int n = a_perm.rows();
+  // Liu's algorithm with path compression (ancestor array) over the
+  // symmetrized pattern: process row i, walking from each k (< i, with
+  // A(i,k) or A(k,i) nonzero) toward the root, attaching to i.
+  const ordering::Graph g = ordering::Graph::from_pattern(
+      n, a_perm.ptr().data(), a_perm.ind().data());
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> ancestor(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    for (int p = g.ptr()[static_cast<std::size_t>(i)];
+         p < g.ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      int k = g.adj()[static_cast<std::size_t>(p)];
+      if (k >= i) continue;
+      // Walk up, compressing to i.
+      while (k != -1 && k != i) {
+        const int next = ancestor[static_cast<std::size_t>(k)];
+        ancestor[static_cast<std::size_t>(k)] = i;
+        if (next == -1) {
+          parent[static_cast<std::size_t>(k)] = i;
+          break;
+        }
+        k = next;
+      }
+    }
+  }
+  return parent;
+}
+
+SymbolicAnalysis SymbolicAnalysis::build_from_etree(const CsrMatrix& a_perm) {
+  SymbolicAnalysis sym;
+  const int n = a_perm.rows();
+  if (n == 0) return sym;
+  const std::vector<int> parent = elimination_tree(a_perm);
+
+  // Column structures of L via row-subtree walks: for every entry (i, k)
+  // with k < i (symmetrized), add i to struct(j) for every j on the etree
+  // path k -> ... below i. O(|L|) with marking.
+  const ordering::Graph g = ordering::Graph::from_pattern(
+      n, a_perm.ptr().data(), a_perm.ind().data());
+  std::vector<std::vector<int>> cstruct(static_cast<std::size_t>(n));
+  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (int p = g.ptr()[static_cast<std::size_t>(i)];
+         p < g.ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      int k = g.adj()[static_cast<std::size_t>(p)];
+      if (k >= i) continue;
+      while (k != -1 && mark[static_cast<std::size_t>(k)] != i) {
+        mark[static_cast<std::size_t>(k)] = i;
+        cstruct[static_cast<std::size_t>(k)].push_back(i);
+        k = parent[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  for (auto& s : cstruct) std::sort(s.begin(), s.end());
+
+  // Fundamental supernodes: columns j and j+1 merge when parent(j) == j+1
+  // and struct(j) == {j+1} ∪ struct(j+1).
+  std::vector<int> snode_of(static_cast<std::size_t>(n));
+  std::vector<int> begins = {0};
+  for (int j = 1; j < n; ++j) {
+    const auto& prev = cstruct[static_cast<std::size_t>(j - 1)];
+    const bool chain =
+        parent[static_cast<std::size_t>(j - 1)] == j &&
+        static_cast<int>(prev.size()) ==
+            static_cast<int>(cstruct[static_cast<std::size_t>(j)].size()) + 1;
+    if (!chain) begins.push_back(j);
+  }
+  begins.push_back(n);
+  const int ns = static_cast<int>(begins.size()) - 1;
+  for (int s = 0; s < ns; ++s)
+    for (int j = begins[static_cast<std::size_t>(s)];
+         j < begins[static_cast<std::size_t>(s) + 1]; ++j)
+      snode_of[static_cast<std::size_t>(j)] = s;
+
+  sym.fronts.resize(static_cast<std::size_t>(ns));
+  for (int s = 0; s < ns; ++s) {
+    Front& f = sym.fronts[static_cast<std::size_t>(s)];
+    f.sep_begin = begins[static_cast<std::size_t>(s)];
+    f.sep_end = begins[static_cast<std::size_t>(s) + 1];
+    // Update set: the structure of the supernode's last column.
+    f.upd = cstruct[static_cast<std::size_t>(f.sep_end - 1)];
+    const int last_parent = parent[static_cast<std::size_t>(f.sep_end - 1)];
+    f.parent = last_parent < 0 ? -1 : snode_of[static_cast<std::size_t>(
+                                          last_parent)];
+    if (f.parent >= 0)
+      sym.fronts[static_cast<std::size_t>(f.parent)].children.push_back(s);
+  }
+  // Supernodes are numbered by their first column, so children (all of
+  // whose columns precede the parent's) come first: postorder holds.
+  sym.root = ns - 1;
+  finalize(sym);
+  return sym;
+}
+
+}  // namespace irrlu::sparse

@@ -1,0 +1,63 @@
+// Symbolic multifrontal analysis (§III-A): turns the nested-dissection
+// separator tree into an assembly tree of *fronts*. Each front owns the
+// separator vertices it eliminates (the s x s pivot block F11) plus the
+// update variables it touches in ancestor separators (the Schur complement
+// dimension u). Fronts at the same tree level are independent and are
+// factored as one irregular batch — the paper's core workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ordering/nested_dissection.hpp"
+#include "sparse/csr.hpp"
+
+namespace irrlu::sparse {
+
+struct Front {
+  int sep_begin = 0, sep_end = 0;  ///< eliminated (new-order) range
+  std::vector<int> upd;  ///< update variables (new-order indices, sorted)
+  std::vector<int> children;  ///< child front ids (any arity)
+  int parent = -1;
+  int level = 0;  ///< depth from the root (root = level 0, as in Fig. 13)
+
+  int s() const { return sep_end - sep_begin; }
+  int u() const { return static_cast<int>(upd.size()); }
+  int dim() const { return s() + u(); }
+
+  /// Positions of *this* front's update variables inside the parent's
+  /// local index space [0, parent.dim) — the extend-add scatter map.
+  std::vector<int> parent_map;
+};
+
+struct SymbolicAnalysis {
+  std::vector<Front> fronts;  ///< postorder: children precede parents
+  int root = -1;  ///< last tree root (-1 only for empty problems)
+  /// levels[d] = front ids at depth d (levels[0] = the roots).
+  std::vector<std::vector<int>> levels;
+
+  double factor_flops = 0;       ///< dense-front operation count
+  std::int64_t factor_nnz = 0;   ///< entries of L+U kept for the solve
+  std::int64_t front_elems = 0;  ///< total front storage (elements)
+  int max_front_dim = 0;
+
+  /// Builds the analysis from the permuted matrix's *pattern* (the matrix
+  /// must already be in nested-dissection order) and the separator tree.
+  static SymbolicAnalysis build(const CsrMatrix& a_perm,
+                                const ordering::Ordering& ord);
+
+  /// Ordering-agnostic path: builds the assembly tree from the elimination
+  /// tree of the (already permuted) pattern, grouping columns into
+  /// fundamental supernodes. Works for minimum-degree, RCM, natural, or
+  /// any other fill-reducing ordering — the route supernodal solvers take
+  /// when no separator tree is available (§III-A's "rows and columns with
+  /// equivalent sparsity structure are grouped together in so-called
+  /// supernodes").
+  static SymbolicAnalysis build_from_etree(const CsrMatrix& a_perm);
+};
+
+/// Liu's elimination-tree algorithm on the symmetrized pattern of the
+/// permuted matrix: parent[j] = min { i > j : L(i, j) != 0 }, -1 for roots.
+std::vector<int> elimination_tree(const CsrMatrix& a_perm);
+
+}  // namespace irrlu::sparse

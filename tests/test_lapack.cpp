@@ -1,0 +1,402 @@
+// Unit tests for the single-matrix BLAS/LAPACK substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/matrix_view.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "lapack/blas.hpp"
+#include "lapack/flops.hpp"
+#include "lapack/lapack.hpp"
+#include "lapack/verify.hpp"
+
+namespace la = irrlu::la;
+using irrlu::ConstMatrixView;
+using irrlu::Matrix;
+using irrlu::MatrixView;
+using irrlu::Rng;
+
+namespace {
+
+// Naive reference gemm with explicit index arithmetic.
+void ref_gemm(la::Trans ta, la::Trans tb, int m, int n, int k, double alpha,
+              ConstMatrixView<double> a, ConstMatrixView<double> b,
+              double beta, MatrixView<double> c) {
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double acc = 0;
+      for (int p = 0; p < k; ++p) {
+        const double av = ta == la::Trans::No ? a(i, p) : a(p, i);
+        const double bv = tb == la::Trans::No ? b(p, j) : b(j, p);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+}
+
+double max_diff(ConstMatrixView<double> a, ConstMatrixView<double> b) {
+  double d = 0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i)
+      d = std::max(d, std::abs(a(i, j) - b(i, j)));
+  return d;
+}
+
+}  // namespace
+
+TEST(Iamax, FindsFirstMaximum) {
+  std::vector<double> x = {1.0, -5.0, 5.0, 2.0};
+  EXPECT_EQ(la::iamax(4, x.data(), 1), 1);  // ties resolve to first
+  EXPECT_EQ(la::iamax(0, x.data(), 1), 0);
+  EXPECT_EQ(la::iamax(1, x.data(), 1), 0);
+}
+
+TEST(Iamax, Strided) {
+  std::vector<double> x = {1.0, 99.0, -3.0, 98.0, 2.0};
+  EXPECT_EQ(la::iamax(3, x.data(), 2), 1);  // elements 1, -3, 2
+}
+
+TEST(Scal, Scales) {
+  std::vector<double> x = {1, 2, 3};
+  la::scal(3, 2.0, x.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{2, 4, 6}));
+}
+
+TEST(Ger, MatchesManual) {
+  Rng rng(1);
+  Matrix<double> a(5, 4), a0(5, 4);
+  rng.fill_uniform(a.view());
+  a0 = a;
+  std::vector<double> x(5), y(4);
+  for (auto& v : x) v = rng.uniform();
+  for (auto& v : y) v = rng.uniform();
+  la::ger(5, 4, 2.0, x.data(), 1, y.data(), 1, a.data(), 5);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 5; ++i)
+      EXPECT_NEAR(a(i, j), a0(i, j) + 2.0 * x[i] * y[j], 1e-14);
+}
+
+struct GemmCase {
+  la::Trans ta, tb;
+  int m, n, k;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesNaive) {
+  const auto p = GetParam();
+  Rng rng(42);
+  const int ar = p.ta == la::Trans::No ? p.m : p.k;
+  const int ac = p.ta == la::Trans::No ? p.k : p.m;
+  const int br = p.tb == la::Trans::No ? p.k : p.n;
+  const int bc = p.tb == la::Trans::No ? p.n : p.k;
+  Matrix<double> a(ar, ac), b(br, bc), c(p.m, p.n), cref(p.m, p.n);
+  rng.fill_uniform(a.view());
+  rng.fill_uniform(b.view());
+  rng.fill_uniform(c.view());
+  cref = c;
+  la::gemm(p.ta, p.tb, p.m, p.n, p.k, 1.7, a.data(), a.ld(), b.data(), b.ld(),
+           -0.3, c.data(), c.ld());
+  ref_gemm(p.ta, p.tb, p.m, p.n, p.k, 1.7, a.view(), b.view(), -0.3,
+           cref.view());
+  EXPECT_LT(max_diff(c.view(), cref.view()), 1e-12 * (p.k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GemmParam,
+    ::testing::Values(
+        GemmCase{la::Trans::No, la::Trans::No, 1, 1, 1},
+        GemmCase{la::Trans::No, la::Trans::No, 7, 5, 3},
+        GemmCase{la::Trans::No, la::Trans::No, 65, 70, 130},  // crosses tiles
+        GemmCase{la::Trans::Yes, la::Trans::No, 13, 9, 17},
+        GemmCase{la::Trans::No, la::Trans::Yes, 13, 9, 17},
+        GemmCase{la::Trans::Yes, la::Trans::Yes, 13, 9, 17},
+        GemmCase{la::Trans::No, la::Trans::No, 0, 5, 3},
+        GemmCase{la::Trans::No, la::Trans::No, 5, 0, 3},
+        GemmCase{la::Trans::No, la::Trans::No, 5, 5, 0}));
+
+TEST(Gemm, BetaZeroOverwritesNaNs) {
+  // beta == 0 must overwrite C even when it holds NaN (BLAS semantics).
+  Matrix<double> a(2, 2), b(2, 2),
+      c(2, 2, std::numeric_limits<double>::quiet_NaN());
+  a(0, 0) = a(1, 1) = 1.0;
+  b(0, 0) = 3.0;
+  b(1, 1) = 4.0;
+  la::gemm(la::Trans::No, la::Trans::No, 2, 2, 2, 1.0, a.data(), 2, b.data(),
+           2, 0.0, c.data(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+struct TrsmCase {
+  la::Side side;
+  la::Uplo uplo;
+  la::Trans trans;
+  la::Diag diag;
+  int m, n;
+};
+
+class TrsmParam : public ::testing::TestWithParam<TrsmCase> {};
+
+TEST_P(TrsmParam, SolvesSystem) {
+  const auto p = GetParam();
+  Rng rng(7);
+  const int ta = p.side == la::Side::Left ? p.m : p.n;
+  Matrix<double> t(ta, ta);
+  rng.fill_uniform(t.view());
+  for (int i = 0; i < ta; ++i) t(i, i) += 4.0;  // well conditioned
+  Matrix<double> b(p.m, p.n), x(p.m, p.n);
+  rng.fill_uniform(b.view());
+  x = b;
+  la::trsm(p.side, p.uplo, p.trans, p.diag, p.m, p.n, 1.0, t.data(), t.ld(),
+           x.data(), x.ld());
+  const double err =
+      p.side == la::Side::Left
+          ? la::trsm_backward_error(p.uplo, p.trans, p.diag, t.view(),
+                                    x.view(), b.view())
+          : [&] {
+              // Verify X*op(T) = B by checking each row as a left solve of
+              // the transposed system.
+              double worst = 0;
+              for (int i = 0; i < p.m; ++i) {
+                for (int j = 0; j < p.n; ++j) {
+                  double acc = 0;
+                  for (int q = 0; q < p.n; ++q) {
+                    double e = p.trans == la::Trans::No ? t(q, j) : t(j, q);
+                    bool in_tri =
+                        (p.uplo == la::Uplo::Lower) ==
+                                (p.trans == la::Trans::No)
+                            ? (j <= q)
+                            : (j >= q);
+                    if (q == j)
+                      e = p.diag == la::Diag::Unit ? 1.0 : e;
+                    else if (!in_tri)
+                      e = 0.0;
+                    acc += x(i, q) * e;
+                  }
+                  worst = std::max(worst, std::abs(acc - b(i, j)));
+                }
+              }
+              return worst;
+            }();
+  EXPECT_LT(err, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmParam,
+    ::testing::Values(
+        TrsmCase{la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                 la::Diag::NonUnit, 17, 5},
+        TrsmCase{la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                 la::Diag::Unit, 17, 5},
+        TrsmCase{la::Side::Left, la::Uplo::Upper, la::Trans::No,
+                 la::Diag::NonUnit, 17, 5},
+        TrsmCase{la::Side::Left, la::Uplo::Lower, la::Trans::Yes,
+                 la::Diag::NonUnit, 17, 5},
+        TrsmCase{la::Side::Left, la::Uplo::Upper, la::Trans::Yes,
+                 la::Diag::Unit, 17, 5},
+        TrsmCase{la::Side::Right, la::Uplo::Lower, la::Trans::No,
+                 la::Diag::NonUnit, 6, 11},
+        TrsmCase{la::Side::Right, la::Uplo::Upper, la::Trans::No,
+                 la::Diag::NonUnit, 6, 11},
+        TrsmCase{la::Side::Right, la::Uplo::Upper, la::Trans::Yes,
+                 la::Diag::NonUnit, 6, 11},
+        TrsmCase{la::Side::Right, la::Uplo::Lower, la::Trans::Yes,
+                 la::Diag::Unit, 6, 11},
+        TrsmCase{la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                 la::Diag::NonUnit, 1, 1},
+        TrsmCase{la::Side::Left, la::Uplo::Upper, la::Trans::No,
+                 la::Diag::NonUnit, 0, 4}));
+
+class GetrfParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GetrfParam, FactorsAccurately) {
+  const auto [m, n] = GetParam();
+  Rng rng(1234 + m * 131 + n);
+  Matrix<double> a(m, n), a0(m, n);
+  rng.fill_uniform(a.view());
+  a0 = a;
+  std::vector<int> ipiv(static_cast<std::size_t>(std::min(m, n)) + 1, -1);
+  const int info = la::getrf(m, n, a.data(), a.ld(), ipiv.data(), 8);
+  EXPECT_EQ(info, 0);
+  for (int j = 0; j < std::min(m, n); ++j) {
+    EXPECT_GE(ipiv[j], j);
+    EXPECT_LT(ipiv[j], m);
+  }
+  EXPECT_LT(la::lu_residual(a.view(), ipiv.data(), a0.view()), 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GetrfParam,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
+                                           std::pair{7, 7}, std::pair{8, 8},
+                                           std::pair{33, 33},
+                                           std::pair{100, 100},
+                                           std::pair{50, 20},
+                                           std::pair{20, 50},
+                                           std::pair{129, 64},
+                                           std::pair{64, 129}));
+
+TEST(Getrf, BlockedMatchesUnblocked) {
+  Rng rng(5);
+  const int m = 53, n = 41;
+  Matrix<double> a(m, n), b(m, n);
+  rng.fill_uniform(a.view());
+  b = a;
+  std::vector<int> pa(41), pb(41);
+  la::getf2(m, n, a.data(), m, pa.data());
+  la::getrf(m, n, b.data(), m, pb.data(), 8);
+  EXPECT_EQ(pa, pb);
+  EXPECT_LT(max_diff(a.view(), b.view()), 1e-13);
+}
+
+TEST(Getrf, SingularMatrixReportsInfo) {
+  Matrix<double> a(3, 3, 0.0);  // all-zero matrix
+  std::vector<int> ipiv(3);
+  const int info = la::getf2(3, 3, a.data(), 3, ipiv.data());
+  EXPECT_EQ(info, 1);  // first zero pivot at column 0 (1-based)
+}
+
+TEST(Getrs, SolvesBothTranspositions) {
+  Rng rng(9);
+  const int n = 37, nrhs = 3;
+  Matrix<double> a(n, n), lu(n, n);
+  rng.fill_uniform(a.view());
+  for (int i = 0; i < n; ++i) a(i, i) += 2.0;
+  lu = a;
+  std::vector<int> ipiv(n);
+  ASSERT_EQ(la::getrf(n, n, lu.data(), n, ipiv.data()), 0);
+
+  for (la::Trans tr : {la::Trans::No, la::Trans::Yes}) {
+    Matrix<double> x(n, nrhs), b(n, nrhs);
+    rng.fill_uniform(b.view());
+    x = b;
+    la::getrs(tr, n, nrhs, lu.data(), n, ipiv.data(), x.data(), n);
+    // Residual of op(A) x = b per column.
+    for (int c = 0; c < nrhs; ++c) {
+      double rmax = 0;
+      for (int i = 0; i < n; ++i) {
+        double acc = 0;
+        for (int j = 0; j < n; ++j)
+          acc += (tr == la::Trans::No ? a(i, j) : a(j, i)) * x(j, c);
+        rmax = std::max(rmax, std::abs(acc - b(i, c)));
+      }
+      EXPECT_LT(rmax, 1e-10);
+    }
+  }
+}
+
+TEST(Trtri, InvertsTriangles) {
+  Rng rng(11);
+  for (la::Uplo uplo : {la::Uplo::Lower, la::Uplo::Upper}) {
+    for (la::Diag diag : {la::Diag::NonUnit, la::Diag::Unit}) {
+      const int n = 19;
+      Matrix<double> t(n, n, 0.0);
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const bool in = uplo == la::Uplo::Lower ? i >= j : i <= j;
+          if (in) t(i, j) = rng.uniform(-1, 1);
+        }
+      for (int i = 0; i < n; ++i) t(i, i) = 2.0 + rng.uniform();
+      Matrix<double> inv = t;
+      ASSERT_EQ(la::trtri(uplo, diag, n, inv.data(), n), 0);
+      // Check op(T) * inv(T) == I on the triangular part.
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          double acc = 0;
+          for (int p = 0; p < n; ++p) {
+            auto elem = [&](const Matrix<double>& mM, int r, int c) {
+              const bool in = uplo == la::Uplo::Lower ? r >= c : r <= c;
+              if (r == c) return diag == la::Diag::Unit ? 1.0 : mM(r, c);
+              return in ? mM(r, c) : 0.0;
+            };
+            acc += elem(t, i, p) * elem(inv, p, j);
+          }
+          EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-12);
+        }
+    }
+  }
+}
+
+TEST(Trtri, SingularReturnsIndex) {
+  Matrix<double> t(2, 2, 0.0);
+  t(0, 0) = 1.0;  // t(1,1) == 0
+  EXPECT_EQ(la::trtri(la::Uplo::Lower, la::Diag::NonUnit, 2, t.data(), 2), 2);
+}
+
+TEST(Laswp, ForwardThenBackwardIsIdentity) {
+  Rng rng(3);
+  const int m = 12, n = 5;
+  Matrix<double> a(m, n), a0(m, n);
+  rng.fill_uniform(a.view());
+  a0 = a;
+  std::vector<int> ipiv = {3, 1, 7, 3, 11, 5};
+  la::laswp(n, a.data(), m, 0, 6, ipiv.data(), true);
+  la::laswp(n, a.data(), m, 0, 6, ipiv.data(), false);
+  EXPECT_EQ(max_diff(a.view(), a0.view()), 0.0);
+}
+
+TEST(Flops, MatchesPaperFormulaForSquare) {
+  // Paper §III-B / §V-A: for square n, flops = 2n^3/3 - n^2/2 + 5n/6 + n^3/3
+  // ... i.e. n*n^2 - n^3/3 - n^2/2 + 5n/6.
+  for (int n : {1, 2, 10, 100}) {
+    const double expect =
+        static_cast<double>(n) * n * n - n * n * static_cast<double>(n) / 3.0 -
+        n * static_cast<double>(n) / 2.0 + 5.0 * n / 6.0;
+    EXPECT_DOUBLE_EQ(la::getrf_flops(n, n), expect);
+  }
+  EXPECT_DOUBLE_EQ(la::getrf_flops(1, 1), 1.0);  // degenerate but positive
+  EXPECT_DOUBLE_EQ(la::gemm_flops(3, 4, 5), 120.0);
+  EXPECT_DOUBLE_EQ(la::trsm_flops(4, 3), 48.0);
+}
+
+TEST(MatrixView, BlockIndexing) {
+  Matrix<double> a(4, 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i) a(i, j) = i + 10 * j;
+  auto blk = a.view().block(1, 2, 2, 2);
+  EXPECT_EQ(blk(0, 0), 1 + 20);
+  EXPECT_EQ(blk(1, 1), 2 + 30);
+  EXPECT_EQ(blk.ld(), 4);
+}
+
+TEST(Cli, FlagParsing) {
+  // Note the parser's documented greediness: "--flag value" binds the next
+  // non-flag token as the value, so positionals go before flags (or use
+  // "--flag=value").
+  const char* argv[] = {"prog",          "pos1", "--alpha", "3",
+                        "--verbose=yes", "--beta=2.5",      "--gamma"};
+  irrlu::CliArgs args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0), 2.5);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("gamma"));
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(TextTable, AlignsColumns) {
+  irrlu::TextTable t({"a", "bb"});
+  t.add_row(1, "xyz");
+  t.add_row("hello", 2.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  EXPECT_NE(out.find("xyz"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(irrlu::TextTable::fmt(1.23456, 2), "1.23");
+}
+
+TEST(Rng, DeterministicAcrossRuns) {
+  irrlu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+}
