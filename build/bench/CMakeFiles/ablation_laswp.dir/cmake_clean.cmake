@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_laswp.dir/ablation_laswp.cpp.o"
+  "CMakeFiles/ablation_laswp.dir/ablation_laswp.cpp.o.d"
+  "ablation_laswp"
+  "ablation_laswp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_laswp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

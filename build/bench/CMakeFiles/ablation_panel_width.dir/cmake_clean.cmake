@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_panel_width.dir/ablation_panel_width.cpp.o"
+  "CMakeFiles/ablation_panel_width.dir/ablation_panel_width.cpp.o.d"
+  "ablation_panel_width"
+  "ablation_panel_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_panel_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_qr.dir/extension_qr.cpp.o"
+  "CMakeFiles/extension_qr.dir/extension_qr.cpp.o.d"
+  "extension_qr"
+  "extension_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

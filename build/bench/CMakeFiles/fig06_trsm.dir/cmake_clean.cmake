@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_trsm.dir/fig06_trsm.cpp.o"
+  "CMakeFiles/fig06_trsm.dir/fig06_trsm.cpp.o.d"
+  "fig06_trsm"
+  "fig06_trsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_trsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_panel.dir/fig07_panel.cpp.o"
+  "CMakeFiles/fig07_panel.dir/fig07_panel.cpp.o.d"
+  "fig07_panel"
+  "fig07_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_large_sizes.dir/fig11_large_sizes.cpp.o"
+  "CMakeFiles/fig11_large_sizes.dir/fig11_large_sizes.cpp.o.d"
+  "fig11_large_sizes"
+  "fig11_large_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_large_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_front_distribution.dir/fig13_front_distribution.cpp.o"
+  "CMakeFiles/fig13_front_distribution.dir/fig13_front_distribution.cpp.o.d"
+  "fig13_front_distribution"
+  "fig13_front_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_front_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

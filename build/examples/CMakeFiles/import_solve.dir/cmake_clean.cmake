@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/import_solve.dir/import_solve.cpp.o"
+  "CMakeFiles/import_solve.dir/import_solve.cpp.o.d"
+  "import_solve"
+  "import_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/import_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

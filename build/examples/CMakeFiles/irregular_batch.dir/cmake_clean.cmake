@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_batch.dir/irregular_batch.cpp.o"
+  "CMakeFiles/irregular_batch.dir/irregular_batch.cpp.o.d"
+  "irregular_batch"
+  "irregular_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwell_solver.dir/maxwell_solver.cpp.o"
+  "CMakeFiles/maxwell_solver.dir/maxwell_solver.cpp.o.d"
+  "maxwell_solver"
+  "maxwell_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwell_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

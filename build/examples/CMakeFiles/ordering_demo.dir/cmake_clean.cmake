@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_demo.dir/ordering_demo.cpp.o"
+  "CMakeFiles/ordering_demo.dir/ordering_demo.cpp.o.d"
+  "ordering_demo"
+  "ordering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

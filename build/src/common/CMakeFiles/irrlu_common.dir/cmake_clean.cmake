@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_common.dir/cli.cpp.o"
+  "CMakeFiles/irrlu_common.dir/cli.cpp.o.d"
+  "libirrlu_common.a"
+  "libirrlu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libirrlu_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_fem.dir/mesh.cpp.o"
+  "CMakeFiles/irrlu_fem.dir/mesh.cpp.o.d"
+  "CMakeFiles/irrlu_fem.dir/nedelec.cpp.o"
+  "CMakeFiles/irrlu_fem.dir/nedelec.cpp.o.d"
+  "CMakeFiles/irrlu_fem.dir/nodal.cpp.o"
+  "CMakeFiles/irrlu_fem.dir/nodal.cpp.o.d"
+  "libirrlu_fem.a"
+  "libirrlu_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

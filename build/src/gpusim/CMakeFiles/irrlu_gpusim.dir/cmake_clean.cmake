@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_gpusim.dir/device.cpp.o"
+  "CMakeFiles/irrlu_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/irrlu_gpusim.dir/device_model.cpp.o"
+  "CMakeFiles/irrlu_gpusim.dir/device_model.cpp.o.d"
+  "libirrlu_gpusim.a"
+  "libirrlu_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

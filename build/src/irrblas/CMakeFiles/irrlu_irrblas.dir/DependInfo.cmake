@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irrblas/autotune.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/autotune.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/autotune.cpp.o.d"
+  "/root/repo/src/irrblas/irr_gemm.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_gemm.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_gemm.cpp.o.d"
+  "/root/repo/src/irrblas/irr_geqrf.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_geqrf.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_geqrf.cpp.o.d"
+  "/root/repo/src/irrblas/irr_getrf.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_getrf.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_getrf.cpp.o.d"
+  "/root/repo/src/irrblas/irr_getrs.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_getrs.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_getrs.cpp.o.d"
+  "/root/repo/src/irrblas/irr_laswp.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_laswp.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_laswp.cpp.o.d"
+  "/root/repo/src/irrblas/irr_panel.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_panel.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_panel.cpp.o.d"
+  "/root/repo/src/irrblas/irr_trsm.cpp" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_trsm.cpp.o" "gcc" "src/irrblas/CMakeFiles/irrlu_irrblas.dir/irr_trsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/irrlu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/irrlu_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irrlu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_irrblas.dir/autotune.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/autotune.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_gemm.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_gemm.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_geqrf.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_geqrf.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_getrf.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_getrf.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_getrs.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_getrs.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_laswp.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_laswp.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_panel.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_panel.cpp.o.d"
+  "CMakeFiles/irrlu_irrblas.dir/irr_trsm.cpp.o"
+  "CMakeFiles/irrlu_irrblas.dir/irr_trsm.cpp.o.d"
+  "libirrlu_irrblas.a"
+  "libirrlu_irrblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_irrblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

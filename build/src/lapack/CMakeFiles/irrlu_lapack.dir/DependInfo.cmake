@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lapack/blas.cpp" "src/lapack/CMakeFiles/irrlu_lapack.dir/blas.cpp.o" "gcc" "src/lapack/CMakeFiles/irrlu_lapack.dir/blas.cpp.o.d"
+  "/root/repo/src/lapack/lapack.cpp" "src/lapack/CMakeFiles/irrlu_lapack.dir/lapack.cpp.o" "gcc" "src/lapack/CMakeFiles/irrlu_lapack.dir/lapack.cpp.o.d"
+  "/root/repo/src/lapack/qr.cpp" "src/lapack/CMakeFiles/irrlu_lapack.dir/qr.cpp.o" "gcc" "src/lapack/CMakeFiles/irrlu_lapack.dir/qr.cpp.o.d"
+  "/root/repo/src/lapack/verify.cpp" "src/lapack/CMakeFiles/irrlu_lapack.dir/verify.cpp.o" "gcc" "src/lapack/CMakeFiles/irrlu_lapack.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/irrlu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

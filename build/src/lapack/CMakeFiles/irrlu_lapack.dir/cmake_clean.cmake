@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_lapack.dir/blas.cpp.o"
+  "CMakeFiles/irrlu_lapack.dir/blas.cpp.o.d"
+  "CMakeFiles/irrlu_lapack.dir/lapack.cpp.o"
+  "CMakeFiles/irrlu_lapack.dir/lapack.cpp.o.d"
+  "CMakeFiles/irrlu_lapack.dir/qr.cpp.o"
+  "CMakeFiles/irrlu_lapack.dir/qr.cpp.o.d"
+  "CMakeFiles/irrlu_lapack.dir/verify.cpp.o"
+  "CMakeFiles/irrlu_lapack.dir/verify.cpp.o.d"
+  "libirrlu_lapack.a"
+  "libirrlu_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

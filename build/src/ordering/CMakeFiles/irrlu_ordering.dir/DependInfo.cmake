@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/bisection.cpp" "src/ordering/CMakeFiles/irrlu_ordering.dir/bisection.cpp.o" "gcc" "src/ordering/CMakeFiles/irrlu_ordering.dir/bisection.cpp.o.d"
+  "/root/repo/src/ordering/graph.cpp" "src/ordering/CMakeFiles/irrlu_ordering.dir/graph.cpp.o" "gcc" "src/ordering/CMakeFiles/irrlu_ordering.dir/graph.cpp.o.d"
+  "/root/repo/src/ordering/mc64.cpp" "src/ordering/CMakeFiles/irrlu_ordering.dir/mc64.cpp.o" "gcc" "src/ordering/CMakeFiles/irrlu_ordering.dir/mc64.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/ordering/CMakeFiles/irrlu_ordering.dir/nested_dissection.cpp.o" "gcc" "src/ordering/CMakeFiles/irrlu_ordering.dir/nested_dissection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/irrlu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_ordering.dir/bisection.cpp.o"
+  "CMakeFiles/irrlu_ordering.dir/bisection.cpp.o.d"
+  "CMakeFiles/irrlu_ordering.dir/graph.cpp.o"
+  "CMakeFiles/irrlu_ordering.dir/graph.cpp.o.d"
+  "CMakeFiles/irrlu_ordering.dir/mc64.cpp.o"
+  "CMakeFiles/irrlu_ordering.dir/mc64.cpp.o.d"
+  "CMakeFiles/irrlu_ordering.dir/nested_dissection.cpp.o"
+  "CMakeFiles/irrlu_ordering.dir/nested_dissection.cpp.o.d"
+  "libirrlu_ordering.a"
+  "libirrlu_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refbatch/cpu_batch.cpp" "src/refbatch/CMakeFiles/irrlu_refbatch.dir/cpu_batch.cpp.o" "gcc" "src/refbatch/CMakeFiles/irrlu_refbatch.dir/cpu_batch.cpp.o.d"
+  "/root/repo/src/refbatch/inv_trsm.cpp" "src/refbatch/CMakeFiles/irrlu_refbatch.dir/inv_trsm.cpp.o" "gcc" "src/refbatch/CMakeFiles/irrlu_refbatch.dir/inv_trsm.cpp.o.d"
+  "/root/repo/src/refbatch/streamed_solver.cpp" "src/refbatch/CMakeFiles/irrlu_refbatch.dir/streamed_solver.cpp.o" "gcc" "src/refbatch/CMakeFiles/irrlu_refbatch.dir/streamed_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irrblas/CMakeFiles/irrlu_irrblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/irrlu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/irrlu_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irrlu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_refbatch.dir/cpu_batch.cpp.o"
+  "CMakeFiles/irrlu_refbatch.dir/cpu_batch.cpp.o.d"
+  "CMakeFiles/irrlu_refbatch.dir/inv_trsm.cpp.o"
+  "CMakeFiles/irrlu_refbatch.dir/inv_trsm.cpp.o.d"
+  "CMakeFiles/irrlu_refbatch.dir/streamed_solver.cpp.o"
+  "CMakeFiles/irrlu_refbatch.dir/streamed_solver.cpp.o.d"
+  "libirrlu_refbatch.a"
+  "libirrlu_refbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_refbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

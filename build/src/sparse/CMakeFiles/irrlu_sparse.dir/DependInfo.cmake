@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/irrlu_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/irrlu_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/irrlu_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/irrlu_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/multifrontal.cpp" "src/sparse/CMakeFiles/irrlu_sparse.dir/multifrontal.cpp.o" "gcc" "src/sparse/CMakeFiles/irrlu_sparse.dir/multifrontal.cpp.o.d"
+  "/root/repo/src/sparse/solver.cpp" "src/sparse/CMakeFiles/irrlu_sparse.dir/solver.cpp.o" "gcc" "src/sparse/CMakeFiles/irrlu_sparse.dir/solver.cpp.o.d"
+  "/root/repo/src/sparse/symbolic.cpp" "src/sparse/CMakeFiles/irrlu_sparse.dir/symbolic.cpp.o" "gcc" "src/sparse/CMakeFiles/irrlu_sparse.dir/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irrblas/CMakeFiles/irrlu_irrblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/irrlu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/irrlu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/irrlu_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irrlu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

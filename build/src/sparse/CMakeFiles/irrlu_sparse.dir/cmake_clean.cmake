@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrlu_sparse.dir/csr.cpp.o"
+  "CMakeFiles/irrlu_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/irrlu_sparse.dir/io.cpp.o"
+  "CMakeFiles/irrlu_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/irrlu_sparse.dir/multifrontal.cpp.o"
+  "CMakeFiles/irrlu_sparse.dir/multifrontal.cpp.o.d"
+  "CMakeFiles/irrlu_sparse.dir/solver.cpp.o"
+  "CMakeFiles/irrlu_sparse.dir/solver.cpp.o.d"
+  "CMakeFiles/irrlu_sparse.dir/symbolic.cpp.o"
+  "CMakeFiles/irrlu_sparse.dir/symbolic.cpp.o.d"
+  "libirrlu_sparse.a"
+  "libirrlu_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrlu_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

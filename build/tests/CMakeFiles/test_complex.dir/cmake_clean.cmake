@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complex.dir/test_complex.cpp.o"
+  "CMakeFiles/test_complex.dir/test_complex.cpp.o.d"
+  "test_complex"
+  "test_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irrblas.dir/test_irrblas.cpp.o"
+  "CMakeFiles/test_irrblas.dir/test_irrblas.cpp.o.d"
+  "test_irrblas"
+  "test_irrblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irrblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lapack.dir/test_lapack.cpp.o"
+  "CMakeFiles/test_lapack.dir/test_lapack.cpp.o.d"
+  "test_lapack"
+  "test_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

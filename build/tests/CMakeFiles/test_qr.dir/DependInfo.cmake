@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_qr.cpp" "tests/CMakeFiles/test_qr.dir/test_qr.cpp.o" "gcc" "tests/CMakeFiles/test_qr.dir/test_qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/irrlu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/irrlu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/irrlu_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/irrblas/CMakeFiles/irrlu_irrblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/refbatch/CMakeFiles/irrlu_refbatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/irrlu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/irrlu_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/irrlu_fem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refbatch.dir/test_refbatch.cpp.o"
+  "CMakeFiles/test_refbatch.dir/test_refbatch.cpp.o.d"
+  "test_refbatch"
+  "test_refbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

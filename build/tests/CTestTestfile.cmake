@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_lapack "/root/repo/build/tests/test_lapack")
+set_tests_properties(test_lapack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gpusim "/root/repo/build/tests/test_gpusim")
+set_tests_properties(test_gpusim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_irrblas "/root/repo/build/tests/test_irrblas")
+set_tests_properties(test_irrblas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_refbatch "/root/repo/build/tests/test_refbatch")
+set_tests_properties(test_refbatch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ordering "/root/repo/build/tests/test_ordering")
+set_tests_properties(test_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sparse "/root/repo/build/tests/test_sparse")
+set_tests_properties(test_sparse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fem "/root/repo/build/tests/test_fem")
+set_tests_properties(test_fem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_qr "/root/repo/build/tests/test_qr")
+set_tests_properties(test_qr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_complex "/root/repo/build/tests/test_complex")
+set_tests_properties(test_complex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;irrlu_add_test;/root/repo/tests/CMakeLists.txt;0;")
