@@ -1,0 +1,195 @@
+// Host BLAS core perf trajectory: packed micro-kernel engine vs the
+// retained naive reference (la::ref), swept over a Figure-13-style front
+// size distribution.
+//
+// Unlike the fig*/table* drivers this benchmark measures *host wall
+// clock*, not simulated device time: the packed engine is a host-side
+// optimization and by construction cannot move any simulated number (see
+// DESIGN.md, "Host execution performance"). Results go to a
+// machine-readable BENCH_blas.json (schema documented in bench_util.hpp)
+// so the perf trajectory is tracked PR over PR.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "lapack/blas.hpp"
+#include "lapack/flops.hpp"
+
+namespace la = irrlu::la;
+using irrlu::Rng;
+using irrlu::WallTimer;
+
+namespace {
+
+const char* tr_name(la::Trans t) { return t == la::Trans::No ? "N" : "T"; }
+
+/// One timed shape class. Fronts in the multifrontal tree (Fig. 13) range
+/// from thousands of tiny leaves through mid-tree panels to a handful of
+/// large separators near the root; each class is a representative
+/// (separator s, update u) pair mapped onto the GEMM Schur update
+/// (u x u x s) or the TRSM panel solve (s x u).
+struct ShapeClass {
+  std::string name;
+  std::string op;  // "gemm" | "trsm"
+  la::Trans transa = la::Trans::No, transb = la::Trans::No;
+  la::Side side = la::Side::Left;
+  la::Uplo uplo = la::Uplo::Lower;
+  int m = 0, n = 0, k = 0;  // trsm ignores k
+  double flops() const {
+    return op == "gemm" ? la::gemm_flops(m, n, k)
+                        : la::trsm_flops(side == la::Side::Left ? m : n,
+                                         side == la::Side::Left ? n : m);
+  }
+};
+
+/// Median wall-clock nanoseconds of `body` over enough repetitions to be
+/// stable (work-scaled rep count, odd so the median is a real sample).
+template <typename F>
+double median_ns(const ShapeClass& c, int rep_scale, F&& body) {
+  int reps = static_cast<int>(2e8 / (c.flops() + 1e3) / rep_scale);
+  reps = std::clamp(reps, 5, 201) | 1;
+  std::vector<double> ns(static_cast<std::size_t>(reps));
+  body();  // warm up caches and pack buffers
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    body();
+    ns[static_cast<std::size_t>(r)] = t.seconds() * 1e9;
+  }
+  std::nth_element(ns.begin(), ns.begin() + reps / 2, ns.end());
+  return ns[static_cast<std::size_t>(reps) / 2];
+}
+
+struct Result {
+  ShapeClass c;
+  double engine_ns, naive_ns;
+};
+
+Result run_class(const ShapeClass& c, int rep_scale) {
+  Rng rng(4242);
+  Result res{c, 0, 0};
+  if (c.op == "gemm") {
+    const int ar = c.transa == la::Trans::No ? c.m : c.k;
+    const int ac = c.transa == la::Trans::No ? c.k : c.m;
+    const int br = c.transb == la::Trans::No ? c.k : c.n;
+    const int bc = c.transb == la::Trans::No ? c.n : c.k;
+    std::vector<double> a(static_cast<std::size_t>(ar) * ac),
+        b(static_cast<std::size_t>(br) * bc),
+        cc(static_cast<std::size_t>(c.m) * c.n, 0.0);
+    for (auto& v : a) v = rng.uniform(-1, 1);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    res.engine_ns = median_ns(c, rep_scale, [&] {
+      la::gemm(c.transa, c.transb, c.m, c.n, c.k, -1.0, a.data(), ar,
+               b.data(), br, 1.0, cc.data(), c.m);
+    });
+    res.naive_ns = median_ns(c, rep_scale, [&] {
+      la::ref::gemm(c.transa, c.transb, c.m, c.n, c.k, -1.0, a.data(), ar,
+                    b.data(), br, 1.0, cc.data(), c.m);
+    });
+  } else {
+    const int ta = c.side == la::Side::Left ? c.m : c.n;
+    std::vector<double> t(static_cast<std::size_t>(ta) * ta),
+        b0(static_cast<std::size_t>(c.m) * c.n);
+    for (auto& v : t) v = rng.uniform(-1, 1);
+    for (int i = 0; i < ta; ++i)
+      t[static_cast<std::size_t>(i) * ta + i] += 4.0;
+    for (auto& v : b0) v = rng.uniform(-1, 1);
+    std::vector<double> x = b0;
+    res.engine_ns = median_ns(c, rep_scale, [&] {
+      x = b0;
+      la::trsm(c.side, c.uplo, la::Trans::No, la::Diag::NonUnit, c.m, c.n,
+               1.0, t.data(), ta, x.data(), c.m);
+    });
+    res.naive_ns = median_ns(c, rep_scale, [&] {
+      x = b0;
+      la::ref::trsm(c.side, c.uplo, la::Trans::No, la::Diag::NonUnit, c.m,
+                    c.n, 1.0, t.data(), ta, x.data(), c.m);
+    });
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  irrlu::CliArgs args(argc, argv);
+  const std::string out = args.get_string("out", "BENCH_blas.json");
+  // --quick shrinks rep counts for smoke runs; default is still seconds.
+  const int rep_scale = args.get_bool("quick") ? 8 : 1;
+
+  // Figure-13-style front distribution: (s, u) representative pairs from
+  // leaf to root, GEMM Schur updates u x u x s in all four transpose
+  // combinations at the mid size, plus the TRSM panel classes.
+  std::vector<ShapeClass> classes;
+  const struct { const char* tag; int s, u; } fronts[] = {
+      {"leaf", 16, 24}, {"mid", 64, 96}, {"sep", 128, 160}, {"root", 256, 320},
+  };
+  for (const auto& f : fronts)
+    classes.push_back({std::string("gemm_nn_") + f.tag, "gemm", la::Trans::No,
+                       la::Trans::No, la::Side::Left, la::Uplo::Lower, f.u,
+                       f.u, f.s});
+  for (la::Trans ta : {la::Trans::No, la::Trans::Yes})
+    for (la::Trans tb : {la::Trans::No, la::Trans::Yes}) {
+      if (ta == la::Trans::No && tb == la::Trans::No) continue;
+      classes.push_back({std::string("gemm_") +
+                             (ta == la::Trans::No ? "n" : "t") +
+                             (tb == la::Trans::No ? "n" : "t") + "_mid",
+                         "gemm", ta, tb, la::Side::Left, la::Uplo::Lower, 96,
+                         96, 64});
+    }
+  for (const auto& f : fronts) {
+    classes.push_back({std::string("trsm_ll_") + f.tag, "trsm", la::Trans::No,
+                       la::Trans::No, la::Side::Left, la::Uplo::Lower, f.s,
+                       f.u, 0});
+    classes.push_back({std::string("trsm_ru_") + f.tag, "trsm", la::Trans::No,
+                       la::Trans::No, la::Side::Right, la::Uplo::Upper, f.u,
+                       f.s, 0});
+  }
+
+  irrlu::TextTable table({"class", "shape", "engine ns", "naive ns",
+                          "engine GF/s", "speedup"});
+  std::vector<Result> results;
+  for (const auto& c : classes) {
+    results.push_back(run_class(c, rep_scale));
+    const Result& r = results.back();
+    char shape[64];
+    std::snprintf(shape, sizeof shape, "%dx%dx%d", c.m, c.n, c.k);
+    table.add_row(c.name, shape, irrlu::TextTable::fmt(r.engine_ns, 0),
+                  irrlu::TextTable::fmt(r.naive_ns, 0),
+                  irrlu::TextTable::fmt(c.flops() / r.engine_ns, 2),
+                  irrlu::TextTable::fmt(r.naive_ns / r.engine_ns, 2));
+  }
+  table.print();
+
+  FILE* f = std::fopen(out.c_str(), "w");
+  IRRLU_CHECK_MSG(f != nullptr, "cannot open " << out);
+  std::fprintf(f, "{\n  \"schema\": \"irrlu-bench-blas-v1\",\n");
+  std::fprintf(f, "  \"unit\": \"ns\",\n  \"classes\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    const ShapeClass& c = r.c;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"op\": \"%s\", \"transa\": \"%s\", "
+        "\"transb\": \"%s\", \"side\": \"%s\", \"uplo\": \"%s\", "
+        "\"m\": %d, \"n\": %d, \"k\": %d, \"flops\": %.0f, "
+        "\"engine_median_ns\": %.0f, \"naive_median_ns\": %.0f, "
+        "\"engine_gflops\": %.3f, \"naive_gflops\": %.3f, "
+        "\"speedup\": %.3f}%s\n",
+        c.name.c_str(), c.op.c_str(), tr_name(c.transa), tr_name(c.transb),
+        c.side == la::Side::Left ? "L" : "R",
+        c.uplo == la::Uplo::Lower ? "L" : "U", c.m, c.n, c.k, c.flops(),
+        r.engine_ns, r.naive_ns, c.flops() / r.engine_ns,
+        c.flops() / r.naive_ns, r.naive_ns / r.engine_ns,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

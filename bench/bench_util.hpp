@@ -54,4 +54,36 @@ inline double gflops(double flops, double seconds) {
   return seconds > 0 ? flops / seconds / 1e9 : 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_blas.json schema (written by bench/bench_blas_core, schema id
+// "irrlu-bench-blas-v1"): host wall-clock perf trajectory of the packed
+// micro-kernel engine vs the retained naive reference (la::ref). Top level:
+//
+//   {
+//     "schema":  "irrlu-bench-blas-v1",
+//     "unit":    "ns",
+//     "classes": [ <class>, ... ]
+//   }
+//
+// Each <class> is one shape class from the Figure-13-style front-size
+// distribution (leaf / mid / sep / root representative (s, u) pairs mapped
+// onto the GEMM Schur update u x u x s and the TRSM panel solves):
+//
+//   name             "gemm_nn_mid", "trsm_ll_root", ... (stable key)
+//   op               "gemm" | "trsm"
+//   transa, transb   "N" | "T"       (gemm; "N"/"N" placeholders for trsm)
+//   side, uplo       "L"/"R", "L"/"U" (trsm; placeholders for gemm)
+//   m, n, k          problem extents (k is 0 for trsm)
+//   flops            operation count for one call (la::*_flops)
+//   engine_median_ns median wall-clock ns per call through la::gemm/la::trsm
+//   naive_median_ns  same through la::ref::gemm/la::ref::trsm (the pre-
+//                    engine algorithms, compiled with project-default flags)
+//   engine_gflops, naive_gflops    flops / median_ns
+//   speedup          naive_median_ns / engine_median_ns
+//
+// Medians are taken over a work-scaled, odd repetition count after one
+// warm-up call. Compare engine_median_ns per class across PRs (the rows are
+// stable); speedup tracks the engine against the frozen pre-PR baseline.
+// ---------------------------------------------------------------------------
+
 }  // namespace irrlu::bench

@@ -47,7 +47,7 @@ void irr_gemm(gpusim::Device& dev, gpusim::Stream& stream, la::Trans transA,
               int batch_size) {
   if (batch_size <= 0 || m <= 0 || n <= 0) return;
   const GemmTiles tiles = pick_tiles<T>(dev.model());
-  const int kTileM = tiles.tm, kTileN = tiles.tn, kTileK = tiles.tk;
+  const int kTileM = tiles.tm, kTileN = tiles.tn;
   const int tiles_m = (m + kTileM - 1) / kTileM;
   const int tiles_n = (n + kTileN - 1) / kTileN;
   const gpusim::LaunchConfig cfg{"irr_gemm", batch_size * tiles_m * tiles_n,
@@ -89,28 +89,20 @@ void irr_gemm(gpusim::Device& dev, gpusim::Stream& stream, la::Trans transA,
     double bytes = 2.0 * em * en * sizeof(T);  // C read-modify-write
 
     if (w.k > 0 && alpha != T{}) {
-      T* sA = ctx.smem_alloc<T>(kTileM * kTileK);
-      T* sB = ctx.smem_alloc<T>(kTileK * kTileN);
-      for (int kk = 0; kk < w.k; kk += kTileK) {
-        const int ek = std::min(kTileK, w.k - kk);
-        // Stage op(A)(row0.., kk..) as an em x ek column-major tile.
-        for (int p = 0; p < ek; ++p)
-          for (int i = 0; i < em; ++i)
-            sA[static_cast<std::ptrdiff_t>(p) * em + i] =
-                transA == la::Trans::No
-                    ? A[static_cast<std::ptrdiff_t>(kk + p) * lda + row0 + i]
-                    : A[static_cast<std::ptrdiff_t>(row0 + i) * lda + kk + p];
-        // Stage op(B)(kk.., col0..) as an ek x en column-major tile.
-        for (int j = 0; j < en; ++j)
-          for (int p = 0; p < ek; ++p)
-            sB[static_cast<std::ptrdiff_t>(j) * ek + p] =
-                transB == la::Trans::No
-                    ? B[static_cast<std::ptrdiff_t>(col0 + j) * ldb + kk + p]
-                    : B[static_cast<std::ptrdiff_t>(kk + p) * ldb + col0 + j];
-        la::gemm(la::Trans::No, la::Trans::No, em, en, ek, alpha, sA, em, sB,
-                 ek, T(1), C, ldc);
-        bytes += static_cast<double>(em + en) * ek * sizeof(T);
-      }
+      // The packed engine does its own (register-file) staging, so the
+      // tile goes straight through la::gemm on the op()-adjusted global
+      // pointers. Byte accounting matches the former shared-memory
+      // staging loop: every k-chunk moved (em + en) * ek elements, which
+      // telescopes to (em + en) * w.k.
+      const T* At = transA == la::Trans::No
+                        ? A + row0
+                        : A + static_cast<std::ptrdiff_t>(row0) * lda;
+      const T* Bt = transB == la::Trans::No
+                        ? B + static_cast<std::ptrdiff_t>(col0) * ldb
+                        : B + col0;
+      la::gemm(transA, transB, em, en, w.k, alpha, At, lda, Bt, ldb, T(1), C,
+               ldc);
+      bytes += static_cast<double>(em + en) * w.k * sizeof(T);
       ctx.record(la::gemm_flops(em, en, w.k), bytes);
     } else {
       ctx.record(0.0, bytes);

@@ -59,24 +59,17 @@ void irr_getf2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m,
     const int lda = ldda[id];
     T* A = dA_array[id] + static_cast<std::ptrdiff_t>(Aj) * lda + Ai;
 
-    // Stage the whole panel in shared memory.
-    T* sp = ctx.smem_alloc<T>(static_cast<std::size_t>(w.rows) * w.cols);
+    // Unblocked right-looking LU with partial pivoting, in place; getf2
+    // is ld-independent so this is bitwise the former stage-in-smem /
+    // factor / copy-back sequence. The LaunchConfig still reserves the
+    // panel's shared-memory footprint, so occupancy and simulated time
+    // are unchanged.
     int* spiv = ctx.smem_alloc<int>(static_cast<std::size_t>(w.cols));
-    for (int j = 0; j < w.cols; ++j)
-      for (int i = 0; i < w.rows; ++i)
-        sp[static_cast<std::ptrdiff_t>(j) * w.rows + i] =
-            A[static_cast<std::ptrdiff_t>(j) * lda + i];
-
-    // Unblocked right-looking LU with partial pivoting on the staged panel.
-    const int info = la::getf2(w.rows, w.cols, sp, w.rows, spiv);
+    const int info = la::getf2(w.rows, w.cols, A, lda, spiv);
     if (info != 0 && info_array[id] == 0) info_array[id] = Aj + info;
 
-    // Publish absolute pivot rows and the factored panel.
+    // Publish absolute pivot rows.
     for (int j = 0; j < w.kpiv(); ++j) ipiv_array[id][Aj + j] = Ai + spiv[j];
-    for (int j = 0; j < w.cols; ++j)
-      for (int i = 0; i < w.rows; ++i)
-        A[static_cast<std::ptrdiff_t>(j) * lda + i] =
-            sp[static_cast<std::ptrdiff_t>(j) * w.rows + i];
 
     // One read + one write of the panel; LU work done entirely in smem.
     ctx.record(la::getrf_flops(w.rows, w.cols),

@@ -56,12 +56,11 @@ void trsm_base(gpusim::Device& dev, gpusim::Stream& stream, la::Side side,
     const T* Tp = dT_array[id] + static_cast<std::ptrdiff_t>(Tj) * ldt + Ti;
     T* Bp = dB_array[id] + static_cast<std::ptrdiff_t>(Bj) * ldb + Bi;
 
-    T* sT = ctx.smem_alloc<T>(static_cast<std::size_t>(tri) * tri);
-    for (int j = 0; j < tri; ++j)
-      for (int i = 0; i < tri; ++i)
-        sT[static_cast<std::ptrdiff_t>(j) * tri + i] =
-            Tp[static_cast<std::ptrdiff_t>(j) * ldt + i];
-    la::trsm(side, uplo, trans, diag, w.m, w.n, alpha, sT, tri, Bp, ldb);
+    // Substitute directly against the global triangle; la::trsm is
+    // ld-independent, so the result is bitwise what the former
+    // shared-memory staging produced. The LaunchConfig still charges the
+    // staging footprint, so simulated time is unchanged.
+    la::trsm(side, uplo, trans, diag, w.m, w.n, alpha, Tp, ldt, Bp, ldb);
 
     ctx.record(la::trsm_flops(tri, side == la::Side::Left ? w.n : w.m),
                (0.5 * tri * tri + 2.0 * w.m * w.n) * sizeof(T));

@@ -6,16 +6,21 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "lapack/microkernel.hpp"
 
 namespace irrlu::la {
 
 template <typename T>
 int iamax(int n, const T* x, int incx) {
-  if (n <= 0) return 0;
+  if (n <= 0 || incx <= 0) return -1;
   int best = 0;
   auto bestv = std::abs(x[0]);  // magnitude type (double for complex)
+  if (std::isnan(bestv)) return 0;
   for (int i = 1; i < n; ++i) {
     const auto v = std::abs(x[static_cast<std::ptrdiff_t>(i) * incx]);
+    // A NaN magnitude outranks every finite one (first NaN wins), so the
+    // result never depends on how '>' happens to order NaN comparisons.
+    if (std::isnan(v)) return i;
     if (v > bestv) {
       bestv = v;
       best = i;
@@ -39,6 +44,11 @@ void swap(int n, T* x, int incx, T* y, int incy) {
 template <typename T>
 void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
          T* a, int lda) {
+  if (m <= 0 || n <= 0) return;
+  if (incx == 1) {
+    mk::ger_unit(m, n, alpha, x, y, incy, a, lda);
+    return;
+  }
   for (int j = 0; j < n; ++j) {
     const T yj = alpha * y[static_cast<std::ptrdiff_t>(j) * incy];
     if (yj == T{}) continue;
@@ -51,10 +61,18 @@ void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
 template <typename T>
 void gemv(Trans trans, int m, int n, T alpha, const T* a, int lda, const T* x,
           int incx, T beta, T* y, int incy) {
+  if (incx == 1 && incy == 1) {
+    mk::gemv_unit(trans, m, n, alpha, a, lda, x, beta, y);
+    return;
+  }
   const int ylen = trans == Trans::No ? m : n;
-  if (beta != T(1))
+  if (beta == T{}) {
+    for (int i = 0; i < ylen; ++i)
+      y[static_cast<std::ptrdiff_t>(i) * incy] = T{};
+  } else if (beta != T(1)) {
     for (int i = 0; i < ylen; ++i)
       y[static_cast<std::ptrdiff_t>(i) * incy] *= beta;
+  }
   if (trans == Trans::No) {
     for (int j = 0; j < n; ++j) {
       const T xj = alpha * x[static_cast<std::ptrdiff_t>(j) * incx];
@@ -104,93 +122,22 @@ void trsv(Uplo uplo, Trans trans, Diag diag, int m, const T* a, int lda,
 
 namespace {
 
-// Tiled C += alpha * A * B microkernel for the NoTrans/NoTrans fast path.
+/// Unblocked substitution solve of op(A) X = B (Side::Left) or X op(A) = B
+/// (Side::Right) with alpha already applied. This is the pre-engine
+/// reference algorithm; the blocked trsm uses it for the on-diagonal
+/// blocks and ref::trsm exposes it for cross-checking.
 template <typename T>
-void gemm_nn_tiled(int m, int n, int k, T alpha, const T* a, int lda,
-                   const T* b, int ldb, T* c, int ldc) {
-  constexpr int MC = 64, NC = 64, KC = 128;
-  for (int jj = 0; jj < n; jj += NC) {
-    const int nb = std::min(NC, n - jj);
-    for (int kk = 0; kk < k; kk += KC) {
-      const int kb = std::min(KC, k - kk);
-      for (int ii = 0; ii < m; ii += MC) {
-        const int mb = std::min(MC, m - ii);
-        for (int j = 0; j < nb; ++j) {
-          T* cj = c + static_cast<std::ptrdiff_t>(jj + j) * ldc + ii;
-          const T* bj = b + static_cast<std::ptrdiff_t>(jj + j) * ldb + kk;
-          for (int p = 0; p < kb; ++p) {
-            const T bpj = alpha * bj[p];
-            if (bpj == T{}) continue;
-            const T* ap = a + static_cast<std::ptrdiff_t>(kk + p) * lda + ii;
-            for (int i = 0; i < mb; ++i) cj[i] += ap[i] * bpj;
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
-template <typename T>
-void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
-          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc) {
-  if (m <= 0 || n <= 0) return;
-  if (beta != T(1)) {
-    for (int j = 0; j < n; ++j) {
-      T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
-      if (beta == T{})
-        std::fill(cj, cj + m, T{});
-      else
-        for (int i = 0; i < m; ++i) cj[i] *= beta;
-    }
-  }
-  if (k <= 0 || alpha == T{}) return;
-
-  if (transa == Trans::No && transb == Trans::No) {
-    gemm_nn_tiled(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-    return;
-  }
-
-  auto A = [&](int i, int p) -> T {
-    return transa == Trans::No
-               ? a[static_cast<std::ptrdiff_t>(p) * lda + i]
-               : a[static_cast<std::ptrdiff_t>(i) * lda + p];
-  };
-  auto B = [&](int p, int j) -> T {
-    return transb == Trans::No
-               ? b[static_cast<std::ptrdiff_t>(j) * ldb + p]
-               : b[static_cast<std::ptrdiff_t>(p) * ldb + j];
-  };
-  for (int j = 0; j < n; ++j) {
-    T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
-    for (int i = 0; i < m; ++i) {
-      T acc{};
-      for (int p = 0; p < k; ++p) acc += A(i, p) * B(p, j);
-      cj[i] += alpha * acc;
-    }
-  }
-}
-
-template <typename T>
-void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
-          const T* a, int lda, T* b, int ldb) {
-  if (m <= 0 || n <= 0) return;
-  if (alpha != T(1)) {
-    for (int j = 0; j < n; ++j) {
-      T* bj = b + static_cast<std::ptrdiff_t>(j) * ldb;
-      for (int i = 0; i < m; ++i) bj[i] *= alpha;
-    }
-  }
+void trsm_substitute(Side side, Uplo uplo, Trans trans, Diag diag, int m,
+                     int n, const T* a, int lda, T* b, int ldb) {
   auto A = [&](int i, int j) -> T {
     return a[static_cast<std::ptrdiff_t>(j) * lda + i];
   };
+  const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
+  auto E = [&](int i, int j) -> T {
+    return trans == Trans::No ? A(i, j) : A(j, i);
+  };
   if (side == Side::Left) {
     // Solve op(A) X = B column by column.
-    const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
-    auto E = [&](int i, int j) -> T {
-      return trans == Trans::No ? A(i, j) : A(j, i);
-    };
     for (int col = 0; col < n; ++col) {
       T* x = b + static_cast<std::ptrdiff_t>(col) * ldb;
       if (lower) {
@@ -208,13 +155,9 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
       }
     }
   } else {
-    // Solve X op(A) = B row by row; A is n x n.
-    const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
-    auto E = [&](int i, int j) -> T {
-      return trans == Trans::No ? A(i, j) : A(j, i);
-    };
-    // X op(A) = B  <=>  for each column j of X (in dependency order):
-    //   X(:,j) = (B(:,j) - sum_{p != j processed} X(:,p) E(p, j)) / E(j, j)
+    // Solve X op(A) = B; A is n x n. For each column j of X in
+    // dependency order:
+    //   X(:,j) = (B(:,j) - sum_{p processed} X(:,p) E(p, j)) / E(j, j)
     if (lower) {
       // op(A) lower: column j of X depends on columns p > j.
       for (int j = n - 1; j >= 0; --j) {
@@ -248,6 +191,209 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
     }
   }
 }
+
+template <typename T>
+void scale_matrix(int m, int n, T alpha, T* b, int ldb) {
+  if (alpha == T(1)) return;
+  for (int j = 0; j < n; ++j) {
+    T* bj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+    for (int i = 0; i < m; ++i) bj[i] *= alpha;
+  }
+}
+
+/// Order of the on-diagonal triangular blocks of the blocked trsm; above
+/// this the GEMM updates dominate and run through the packed engine.
+constexpr int kTrsmBlock = 16;
+
+/// Engine base case: contiguity-aware small substitution (alpha already
+/// applied by the caller).
+template <typename T>
+void trsm_small(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+                const T* a, int lda, T* b, int ldb) {
+  if (side == Side::Left)
+    mk::trsm_left_small(uplo, trans, diag, m, n, a, lda, b, ldb);
+  else
+    mk::trsm_right_small(uplo, trans, diag, m, n, a, lda, b, ldb);
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (beta != T(1)) {
+    for (int j = 0; j < n; ++j) {
+      T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      if (beta == T{})
+        std::fill(cj, cj + m, T{});
+      else
+        for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (k <= 0 || alpha == T{}) return;
+  mk::gemm_packed(transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
+          const T* a, int lda, T* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  scale_matrix(m, n, alpha, b, ldb);
+  const int tri = side == Side::Left ? m : n;
+  if (tri <= kTrsmBlock) {
+    trsm_small(side, uplo, trans, diag, m, n, a, lda, b, ldb);
+    return;
+  }
+
+  // Blocked substitution: small on-diagonal solves + packed GEMM updates
+  // of the remaining panel. `lower` refers to the effective triangle
+  // op(A); the stored-layout pointers below fold the transpose.
+  const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
+  auto diag_block = [&](int j0) -> const T* {
+    return a + static_cast<std::ptrdiff_t>(j0) * lda + j0;
+  };
+  const int last = (tri - 1) / kTrsmBlock * kTrsmBlock;
+
+  if (side == Side::Left) {
+    if (lower) {
+      // Forward: solve the top block, eliminate it from the rows below.
+      for (int i0 = 0; i0 < tri; i0 += kTrsmBlock) {
+        const int ib = std::min(kTrsmBlock, tri - i0);
+        trsm_small(side, uplo, trans, diag, ib, n, diag_block(i0), lda,
+                        b + i0, ldb);
+        const int rm = tri - i0 - ib;
+        if (rm > 0) {
+          // op(A)(i0+ib.., i0..i0+ib) is stored at (i0+ib, i0) for
+          // Trans::No and at (i0, i0+ib) for Trans::Yes.
+          const T* ab = trans == Trans::No
+                            ? a + static_cast<std::ptrdiff_t>(i0) * lda +
+                                  i0 + ib
+                            : a + static_cast<std::ptrdiff_t>(i0 + ib) * lda +
+                                  i0;
+          gemm(trans, Trans::No, rm, n, ib, T(-1), ab, lda, b + i0, ldb,
+               T(1), b + i0 + ib, ldb);
+        }
+      }
+    } else {
+      // Backward: solve the bottom block, eliminate it from the rows
+      // above.
+      for (int i0 = last; i0 >= 0; i0 -= kTrsmBlock) {
+        const int ib = std::min(kTrsmBlock, tri - i0);
+        trsm_small(side, uplo, trans, diag, ib, n, diag_block(i0), lda,
+                        b + i0, ldb);
+        if (i0 > 0) {
+          // op(A)(0..i0, i0..i0+ib) is stored at (0, i0) for Trans::No
+          // and at (i0, 0) for Trans::Yes.
+          const T* ab = trans == Trans::No
+                            ? a + static_cast<std::ptrdiff_t>(i0) * lda
+                            : a + i0;
+          gemm(trans, Trans::No, i0, n, ib, T(-1), ab, lda, b + i0, ldb,
+               T(1), b, ldb);
+        }
+      }
+    }
+  } else {
+    if (lower) {
+      // op(A) lower: right-most column block of X first, then eliminate
+      // it from the columns to its left.
+      for (int j0 = last; j0 >= 0; j0 -= kTrsmBlock) {
+        const int jb = std::min(kTrsmBlock, tri - j0);
+        trsm_small(side, uplo, trans, diag, m, jb, diag_block(j0), lda,
+                        b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb);
+        if (j0 > 0) {
+          // op(A)(j0..j0+jb, 0..j0) is stored at (j0, 0) for Trans::No
+          // and at (0, j0) for Trans::Yes.
+          const T* ab = trans == Trans::No
+                            ? a + j0
+                            : a + static_cast<std::ptrdiff_t>(j0) * lda;
+          gemm(Trans::No, trans, m, j0, jb, T(-1),
+               b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb, ab, lda, T(1),
+               b, ldb);
+        }
+      }
+    } else {
+      // op(A) upper: left-most column block first, then eliminate it from
+      // the columns to its right.
+      for (int j0 = 0; j0 < tri; j0 += kTrsmBlock) {
+        const int jb = std::min(kTrsmBlock, tri - j0);
+        trsm_small(side, uplo, trans, diag, m, jb, diag_block(j0), lda,
+                        b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb);
+        const int rn = tri - j0 - jb;
+        if (rn > 0) {
+          // op(A)(j0..j0+jb, j0+jb..) is stored at (j0, j0+jb) for
+          // Trans::No and at (j0+jb, j0) for Trans::Yes.
+          const T* ab = trans == Trans::No
+                            ? a + static_cast<std::ptrdiff_t>(j0 + jb) * lda +
+                                  j0
+                            : a + static_cast<std::ptrdiff_t>(j0) * lda + j0 +
+                                  jb;
+          gemm(Trans::No, trans, m, rn, jb, T(-1),
+               b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb, ab, lda, T(1),
+               b + static_cast<std::ptrdiff_t>(j0 + jb) * ldb, ldb);
+        }
+      }
+    }
+  }
+}
+
+namespace ref {
+
+template <typename T>
+void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (beta != T(1)) {
+    for (int j = 0; j < n; ++j) {
+      T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      if (beta == T{})
+        std::fill(cj, cj + m, T{});
+      else
+        for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (k <= 0 || alpha == T{}) return;
+  auto A = [&](int i, int p) -> T {
+    return transa == Trans::No
+               ? a[static_cast<std::ptrdiff_t>(p) * lda + i]
+               : a[static_cast<std::ptrdiff_t>(i) * lda + p];
+  };
+  auto B = [&](int p, int j) -> T {
+    return transb == Trans::No
+               ? b[static_cast<std::ptrdiff_t>(j) * ldb + p]
+               : b[static_cast<std::ptrdiff_t>(p) * ldb + j];
+  };
+  for (int j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    for (int i = 0; i < m; ++i) {
+      T acc{};
+      for (int p = 0; p < k; ++p) acc += A(i, p) * B(p, j);
+      cj[i] += alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
+          const T* a, int lda, T* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  scale_matrix(m, n, alpha, b, ldb);
+  trsm_substitute(side, uplo, trans, diag, m, n, a, lda, b, ldb);
+}
+
+#define IRRLU_INSTANTIATE_REF(T)                                             \
+  template void gemm<T>(Trans, Trans, int, int, int, T, const T*, int,       \
+                        const T*, int, T, T*, int);                          \
+  template void trsm<T>(Side, Uplo, Trans, Diag, int, int, T, const T*, int, \
+                        T*, int);
+
+IRRLU_INSTANTIATE_REF(float)
+IRRLU_INSTANTIATE_REF(double)
+IRRLU_INSTANTIATE_REF(std::complex<double>)
+
+#undef IRRLU_INSTANTIATE_REF
+
+}  // namespace ref
 
 #define IRRLU_INSTANTIATE_BLAS(T)                                             \
   template int iamax<T>(int, const T*, int);                                  \

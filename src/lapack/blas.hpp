@@ -13,7 +13,10 @@ namespace irrlu::la {
 // ----- level 1 -----
 
 /// Index of the element of x (stride incx, length n) with maximum |.|;
-/// returns 0 for n <= 0. Ties resolve to the first occurrence (LAPACK).
+/// returns -1 for n <= 0 or incx <= 0 (the 0-based analog of LAPACK's
+/// "invalid" 0). Ties resolve to the first occurrence, and the first NaN
+/// magnitude wins outright, so pivot selection is well-defined on
+/// NaN-contaminated columns (LAPACK IxAMAX semantics).
 template <typename T>
 int iamax(int n, const T* x, int incx);
 
@@ -45,15 +48,35 @@ void trsv(Uplo uplo, Trans trans, Diag diag, int m, const T* a, int lda, T* x,
 // ----- level 3 -----
 
 /// C = alpha*op(A)*op(B) + beta*C, with C m x n and inner dimension k.
-/// Cache-tiled; correct for all aliasing-free inputs including m/n/k == 0.
+/// Runs through the packed micro-kernel engine (lapack/microkernel.hpp)
+/// for every transpose combination; correct for all aliasing-free inputs
+/// including m/n/k == 0.
 template <typename T>
 void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
           const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc);
 
 /// B = alpha * op(A)^{-1} * B (Side::Left) or alpha * B * op(A)^{-1}
-/// (Side::Right); A triangular, B m x n. In-place, forward/back substitution.
+/// (Side::Right); A triangular, B m x n. In-place; blocked (small
+/// on-diagonal substitution solves + packed GEMM panel updates).
 template <typename T>
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
           const T* a, int lda, T* b, int ldb);
+
+/// Retained naive reference implementations (the pre-engine algorithms):
+/// plain triple-loop gemm and unblocked substitution trsm. Used by the
+/// tests to cross-check the packed engine and by bench_blas_core to track
+/// the speedup trajectory. Not performance code — do not call from hot
+/// paths.
+namespace ref {
+
+template <typename T>
+void gemm(Trans transa, Trans transb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc);
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n, T alpha,
+          const T* a, int lda, T* b, int ldb);
+
+}  // namespace ref
 
 }  // namespace irrlu::la

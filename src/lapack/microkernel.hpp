@@ -1,0 +1,100 @@
+// Packed, register-blocked micro-kernel engine for the host-side BLAS.
+//
+// Every irregular-batch kernel in this reproduction executes its numerics
+// for real on the host, so host GEMM/TRSM throughput is the wall-clock
+// floor of the whole project (tests, every bench figure, the multifrontal
+// solver). This layer provides the GotoBLAS-style machinery the generic
+// loops in blas.cpp lack:
+//
+//  - MC/KC/NC cache blocking with explicit packing of op(A) and op(B)
+//    into contiguous, zero-padded panels (thread-local buffers, reused
+//    across calls), so all four transpose combinations run at unit
+//    stride;
+//  - an MR x NR register tile (8x4 for double/float, 4x2 for
+//    std::complex<double>) accumulated in registers and written back
+//    once, with edge tiles handled by computing the full padded tile and
+//    storing only the valid part;
+//  - unrolled multi-column fast paths for the level-2 kernels (ger/gemv)
+//    that dominate the column-wise panel fallback of irrLU.
+//
+// None of this changes simulated device time: the gpusim cost model is
+// driven exclusively by LaunchConfig and BlockCtx::record(), never by how
+// fast the host happens to execute a kernel body (DESIGN.md, "Host
+// execution performance").
+#pragma once
+
+#include <complex>
+
+#include "lapack/types.hpp"
+
+namespace irrlu::la::mk {
+
+/// Register-tile geometry and cache-blocking parameters per element type.
+/// MC is a multiple of MR and NC a multiple of NR; KC*(MR+NR) elements
+/// (one A panel + one B panel) are sized to stay resident in L1 while a
+/// packed MC x KC block of A stays in L2.
+template <typename T>
+struct TileTraits;
+
+template <>
+struct TileTraits<float> {
+  static constexpr int MR = 8, NR = 4;
+  static constexpr int MC = 128, KC = 320, NC = 512;
+};
+
+template <>
+struct TileTraits<double> {
+  static constexpr int MR = 8, NR = 4;
+  static constexpr int MC = 96, KC = 256, NC = 512;
+};
+
+template <>
+struct TileTraits<std::complex<double>> {
+  static constexpr int MR = 4, NR = 2;
+  static constexpr int MC = 64, KC = 128, NC = 256;
+};
+
+/// C (m x n, leading dimension ldc) += alpha * op(A) * op(B), inner
+/// dimension k, for any of the four transpose combinations. Assumes the
+/// caller has already applied beta to C and screened out alpha == 0 /
+/// degenerate extents. Deterministic: repeated calls with the same inputs
+/// produce bit-identical results (packing buffers are fully rewritten,
+/// padding included, on every pack).
+template <typename T>
+void gemm_packed(Trans transa, Trans transb, int m, int n, int k, T alpha,
+                 const T* a, int lda, const T* b, int ldb, T* c, int ldc);
+
+/// Rank-1 update fast path, A += alpha * x * y^T with unit-stride x:
+/// processes four columns of A per pass so x is loaded once per pass
+/// instead of once per column. Column results are bit-identical to the
+/// one-column-at-a-time reference (zero columns of y are skipped there
+/// and here).
+template <typename T>
+void ger_unit(int m, int n, T alpha, const T* x, const T* y, int incy, T* a,
+              int lda);
+
+/// y = alpha*op(A)*x + beta*y with unit strides on x and y; four-column
+/// blocking in both transpose modes. beta == 0 overwrites y (BLAS
+/// semantics, NaN-safe). Per-element accumulation order matches the
+/// column-ascending reference loop exactly.
+template <typename T>
+void gemv_unit(Trans trans, int m, int n, T alpha, const T* a, int lda,
+               const T* x, T beta, T* y);
+
+/// Small-triangle substitution solve op(A) X = B with alpha already
+/// applied: the base case of the blocked trsm. Loop orders are chosen so
+/// the stored triangle is always read contiguously (right-looking axpy
+/// for Trans::No, left-looking row dots for Trans::Yes) and four
+/// right-hand-side columns share each triangle load.
+template <typename T>
+void trsm_left_small(Uplo uplo, Trans trans, Diag diag, int m, int n,
+                     const T* a, int lda, T* b, int ldb);
+
+/// Small-triangle substitution solve X op(A) = B with alpha already
+/// applied (A is n x n): column-axpy form, each update contiguous over
+/// the m rows of B.
+template <typename T>
+void trsm_right_small(Uplo uplo, Trans trans, Diag diag, int m, int n,
+                      const T* a, int lda, T* b, int ldb);
+
+}  // namespace irrlu::la::mk

@@ -101,10 +101,12 @@ void inv_trsm(gpusim::Device& dev, gpusim::Stream& stream, la::Uplo uplo,
                                  kApplyCols);
       for (int c0 = 0; c0 < en; c0 += kApplyCols) {
         const int ec = std::min(kApplyCols, en - c0);
-        for (int c = 0; c < ec; ++c)
-          for (int r = 0; r < eb; ++r)
-            tmp[static_cast<std::ptrdiff_t>(c) * kBlk + r] =
-                Wb[static_cast<std::ptrdiff_t>(c0 + c) * m + r];
+        // Stage the chunk out of place: the gemm below overwrites Wb
+        // (beta = 0) while reading the pre-multiply values from tmp.
+        for (int c = 0; c < ec; ++c) {
+          const T* src = Wb + static_cast<std::ptrdiff_t>(c0 + c) * m;
+          std::copy(src, src + eb, tmp + static_cast<std::ptrdiff_t>(c) * kBlk);
+        }
         la::gemm(la::Trans::No, la::Trans::No, eb, ec, eb, T(1), inv, kBlk,
                  tmp, kBlk, T(0),
                  Wb + static_cast<std::ptrdiff_t>(c0) * m, m);

@@ -43,18 +43,12 @@ void ref_getrf_single(gpusim::Device& dev, gpusim::Stream& stream, int m,
       const int pm = m - j;
       int pinfo;
       if (staged) {
-        T* sp = ctx.smem_alloc<T>(static_cast<std::size_t>(pm) * jb);
+        // Factor in place: getf2 is ld-independent, so this matches the
+        // former stage/factor/copy-back sequence bit for bit while the
+        // LaunchConfig keeps charging the staged footprint.
         int* spiv = ctx.smem_alloc<int>(static_cast<std::size_t>(jb));
-        for (int c = 0; c < jb; ++c)
-          for (int r = 0; r < pm; ++r)
-            sp[static_cast<std::ptrdiff_t>(c) * pm + r] =
-                A[static_cast<std::ptrdiff_t>(c) * lda + r];
-        pinfo = la::getf2(pm, jb, sp, pm, spiv);
+        pinfo = la::getf2(pm, jb, A, lda, spiv);
         for (int c = 0; c < jb; ++c) ipiv[0][j + c] = j + spiv[c];
-        for (int c = 0; c < jb; ++c)
-          for (int r = 0; r < pm; ++r)
-            A[static_cast<std::ptrdiff_t>(c) * lda + r] =
-                sp[static_cast<std::ptrdiff_t>(c) * pm + r];
         ctx.record(la::getrf_flops(pm, jb),
                    2.0 * pm * jb * sizeof(T));
       } else {

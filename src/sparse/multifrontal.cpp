@@ -572,25 +572,36 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
     return metas;
   };
 
+  // Gather/scatter staging for the update-row gemv. Blocks of a launch
+  // execute sequentially on the host, so one buffer per launch is safe.
+  auto level_scratch = [](const std::vector<Meta>& metas) {
+    int max_u = 0;
+    for (const Meta& m : metas) max_u = std::max(max_u, m.u);
+    return std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(max_u));
+  };
+
   // Forward sweep, leaves to root: x_s <- L11^{-1} P x_s;
   // x[upd] -= L21 x_s.
   for (int lvl = static_cast<int>(sym_.levels.size()) - 1; lvl >= 0;
        --lvl) {
     auto metas = level_metas(lvl, /*forward=*/true);
     if (metas->empty()) continue;
+    auto tmp = level_scratch(*metas);
     dev_.launch(stream, {"mf_solve_fwd", static_cast<int>(metas->size()), 0},
-                [metas, xd](gpusim::BlockCtx& ctx) {
+                [metas, tmp, xd](gpusim::BlockCtx& ctx) {
       const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
       double* xs = xd + m.sep_begin;  // contiguous separator range
       for (int r = 0; r < m.s; ++r)
         if (m.piv[r] != r) std::swap(xs[r], xs[m.piv[r]]);
       la::trsv(la::Uplo::Lower, la::Trans::No, la::Diag::Unit, m.s, m.f11,
                m.s, xs, 1);
-      for (int k = 0; k < m.u; ++k) {
-        double acc = 0;
-        for (int r = 0; r < m.s; ++r)
-          acc += m.off[static_cast<std::ptrdiff_t>(r) * m.u + k] * xs[r];
-        xd[m.upd[k]] -= acc;  // scatter (atomics on real hardware)
+      if (m.u > 0) {
+        // tmp = L21 * x_s (L21 is u x s, leading dimension u), then
+        // scatter (atomics on real hardware).
+        la::gemv(la::Trans::No, m.u, m.s, 1.0, m.off, m.u, xs, 1, 0.0,
+                 tmp->data(), 1);
+        for (int k = 0; k < m.u; ++k) xd[m.upd[k]] -= (*tmp)[k];
       }
       ctx.record(static_cast<double>(m.s) * m.s + 2.0 * m.s * m.u,
                  (static_cast<double>(m.s) * (m.s / 2.0 + m.u) + 2.0 * m.u +
@@ -602,15 +613,17 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
   for (std::size_t lvl = 0; lvl < sym_.levels.size(); ++lvl) {
     auto metas = level_metas(static_cast<int>(lvl), /*forward=*/false);
     if (metas->empty()) continue;
+    auto tmp = level_scratch(*metas);
     dev_.launch(stream, {"mf_solve_bwd", static_cast<int>(metas->size()), 0},
-                [metas, xd](gpusim::BlockCtx& ctx) {
+                [metas, tmp, xd](gpusim::BlockCtx& ctx) {
       const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
       double* xs = xd + m.sep_begin;
-      for (int k = 0; k < m.u; ++k) {
-        const double xu = xd[m.upd[k]];
-        if (xu == 0.0) continue;
-        for (int r = 0; r < m.s; ++r)
-          xs[r] -= m.off[static_cast<std::ptrdiff_t>(k) * m.s + r] * xu;
+      if (m.u > 0) {
+        // Gather x[upd], then x_s -= U12 * x_u (U12 is s x u, leading
+        // dimension s).
+        for (int k = 0; k < m.u; ++k) (*tmp)[k] = xd[m.upd[k]];
+        la::gemv(la::Trans::No, m.s, m.u, -1.0, m.off, m.s, tmp->data(), 1,
+                 1.0, xs, 1);
       }
       la::trsv(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, m.s,
                m.f11, m.s, xs, 1);

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -51,8 +53,31 @@ double max_diff(ConstMatrixView<double> a, ConstMatrixView<double> b) {
 TEST(Iamax, FindsFirstMaximum) {
   std::vector<double> x = {1.0, -5.0, 5.0, 2.0};
   EXPECT_EQ(la::iamax(4, x.data(), 1), 1);  // ties resolve to first
-  EXPECT_EQ(la::iamax(0, x.data(), 1), 0);
+  EXPECT_EQ(la::iamax(0, x.data(), 1), -1);
   EXPECT_EQ(la::iamax(1, x.data(), 1), 0);
+}
+
+TEST(Iamax, LapackSemantics) {
+  // Regression for the pre-engine implementation, which returned 0 for
+  // empty inputs (ambiguous with "first element") and compared NaN
+  // magnitudes with '>' (NaN never wins a '>', so pivots silently skipped
+  // NaN-contaminated entries).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x = {1.0, nan, 7.0, nan};
+  EXPECT_EQ(la::iamax(4, x.data(), 1), 1);  // first NaN wins outright
+  EXPECT_EQ(la::iamax(1, x.data() + 1, 1), 0);
+  std::vector<double> y = {nan, 2.0};
+  EXPECT_EQ(la::iamax(2, y.data(), 1), 0);
+  // Invalid extents/strides: -1, the 0-based analog of LAPACK's 0.
+  EXPECT_EQ(la::iamax(-3, x.data(), 1), -1);
+  EXPECT_EQ(la::iamax(4, x.data(), 0), -1);
+  EXPECT_EQ(la::iamax(4, x.data(), -1), -1);
+  // Ties among equal magnitudes still resolve to the first occurrence.
+  std::vector<double> z = {-3.0, 3.0, 3.0};
+  EXPECT_EQ(la::iamax(3, z.data(), 1), 0);
+  // Complex magnitudes go through std::abs.
+  std::vector<std::complex<double>> c = {{3.0, 4.0}, {0.0, 5.0}, {6.0, 0.0}};
+  EXPECT_EQ(la::iamax(3, c.data(), 1), 2);
 }
 
 TEST(Iamax, Strided) {
@@ -391,6 +416,126 @@ TEST(TextTable, AlignsColumns) {
   EXPECT_NE(out.find("xyz"), std::string::npos);
   EXPECT_NE(out.find("---"), std::string::npos);
   EXPECT_EQ(irrlu::TextTable::fmt(1.23456, 2), "1.23");
+}
+
+namespace {
+
+template <typename T>
+T test_value(irrlu::Rng& rng) {
+  if constexpr (std::is_same_v<T, std::complex<double>>)
+    return {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  else
+    return static_cast<T>(rng.uniform(-1, 1));
+}
+
+template <typename T>
+double abs_diff(T a, T b) {
+  return std::abs(a - b);
+}
+
+/// Cross-checks the packed gemm engine against the retained naive
+/// reference over the full ISSUE grid: all transpose combinations,
+/// degenerate/edge/tile-crossing extents, all alpha/beta pairs, and a
+/// non-tight leading dimension on every operand.
+template <typename T>
+void gemm_cross_check(const int* dims, int ndims, double tol) {
+  irrlu::Rng rng(2024);
+  const int pad = 3;  // non-tight lda/ldb/ldc
+  for (la::Trans ta : {la::Trans::No, la::Trans::Yes})
+    for (la::Trans tb : {la::Trans::No, la::Trans::Yes})
+      for (int mi = 0; mi < ndims; ++mi)
+        for (int ni = 0; ni < ndims; ++ni)
+          for (int ki = 0; ki < ndims; ++ki) {
+            const int m = dims[mi], n = dims[ni], k = dims[ki];
+            const int ar = (ta == la::Trans::No ? m : k) + pad;
+            const int ac = ta == la::Trans::No ? k : m;
+            const int br = (tb == la::Trans::No ? k : n) + pad;
+            const int bc = tb == la::Trans::No ? n : k;
+            std::vector<T> a(static_cast<std::size_t>(ar) * std::max(ac, 1));
+            std::vector<T> b(static_cast<std::size_t>(br) * std::max(bc, 1));
+            std::vector<T> c0(static_cast<std::size_t>(m + pad) *
+                              std::max(n, 1));
+            for (auto& v : a) v = test_value<T>(rng);
+            for (auto& v : b) v = test_value<T>(rng);
+            for (auto& v : c0) v = test_value<T>(rng);
+            for (T alpha : {T(0), T(1), T(-0.5)})
+              for (T beta : {T(0), T(1), T(-0.5)}) {
+                std::vector<T> c1 = c0, c2 = c0;
+                la::gemm(ta, tb, m, n, k, alpha, a.data(), ar, b.data(), br,
+                         beta, c1.data(), m + pad);
+                la::ref::gemm(ta, tb, m, n, k, alpha, a.data(), ar, b.data(),
+                              br, beta, c2.data(), m + pad);
+                double d = 0;
+                for (std::size_t i = 0; i < c1.size(); ++i)
+                  d = std::max(d, abs_diff(c1[i], c2[i]));
+                ASSERT_LT(d, tol * (k + 1))
+                    << "ta=" << (ta == la::Trans::No ? "N" : "T")
+                    << " tb=" << (tb == la::Trans::No ? "N" : "T")
+                    << " m=" << m << " n=" << n << " k=" << k;
+              }
+          }
+}
+
+}  // namespace
+
+TEST(GemmEngine, MatchesNaiveReferenceDouble) {
+  const int dims[] = {0, 1, 7, 8, 9, 64, 65};
+  gemm_cross_check<double>(dims, 7, 1e-13);
+}
+
+TEST(GemmEngine, MatchesNaiveReferenceComplex) {
+  const int dims[] = {0, 1, 7, 9, 65};
+  gemm_cross_check<std::complex<double>>(dims, 5, 1e-13);
+}
+
+TEST(TrsmEngine, MatchesNaiveReference) {
+  // The blocked trsm (diagonal substitution + packed GEMM updates) must
+  // agree with the retained unblocked reference to rounding across every
+  // side/uplo/trans/diag combination and across the blocking threshold.
+  irrlu::Rng rng(77);
+  for (la::Side side : {la::Side::Left, la::Side::Right})
+    for (la::Uplo uplo : {la::Uplo::Lower, la::Uplo::Upper})
+      for (la::Trans trans : {la::Trans::No, la::Trans::Yes})
+        for (la::Diag diag : {la::Diag::NonUnit, la::Diag::Unit})
+          for (int sz : {1, 7, 32, 33, 65}) {
+            const int m = side == la::Side::Left ? sz : 11;
+            const int n = side == la::Side::Left ? 11 : sz;
+            const int ta = side == la::Side::Left ? m : n;
+            const int ldt = ta + 2, ldb = m + 2;  // non-tight
+            std::vector<double> t(static_cast<std::size_t>(ldt) * ta);
+            for (auto& v : t) v = rng.uniform(-1, 1);
+            for (int i = 0; i < ta; ++i)
+              t[static_cast<std::size_t>(i) * ldt + i] += 4.0;
+            std::vector<double> b0(static_cast<std::size_t>(ldb) * n);
+            for (auto& v : b0) v = rng.uniform(-1, 1);
+            std::vector<double> b1 = b0, b2 = b0;
+            la::trsm(side, uplo, trans, diag, m, n, -0.5, t.data(), ldt,
+                     b1.data(), ldb);
+            la::ref::trsm(side, uplo, trans, diag, m, n, -0.5, t.data(), ldt,
+                          b2.data(), ldb);
+            double d = 0;
+            for (std::size_t i = 0; i < b1.size(); ++i)
+              d = std::max(d, std::abs(b1[i] - b2[i]));
+            ASSERT_LT(d, 1e-12 * (sz + 10)) << "sz=" << sz;
+          }
+}
+
+TEST(Gemv, BetaZeroOverwritesNaNs) {
+  // beta == 0 must overwrite y even when it holds NaN (BLAS semantics) —
+  // regression: the pre-engine gemv multiplied y by beta instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> a = {1.0, 0.0, 0.0, 1.0};  // 2x2 identity
+  std::vector<double> x = {3.0, 4.0};
+  for (la::Trans tr : {la::Trans::No, la::Trans::Yes}) {
+    std::vector<double> y = {nan, nan};
+    la::gemv(tr, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.0, y.data(), 1);
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 4.0);
+    std::vector<double> ys = {nan, nan, nan, nan};  // strided path too
+    la::gemv(tr, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.0, ys.data(), 2);
+    EXPECT_DOUBLE_EQ(ys[0], 3.0);
+    EXPECT_DOUBLE_EQ(ys[2], 4.0);
+  }
 }
 
 TEST(Rng, DeterministicAcrossRuns) {

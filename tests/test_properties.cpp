@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -234,6 +236,76 @@ TEST(SolverFuzz, RandomSparseSystems) {
     for (auto& v : b) v = rng.uniform(-1, 1);
     const auto x = solver.solve(b);
     ASSERT_LT(solver.residual(x, b), 1e-11) << "trial " << trial;
+  }
+}
+
+// ------------------------------------- packed-engine bit stability
+
+TEST(PackedEngine, BitStableAcrossReusedBuffers) {
+  // The micro-kernel engine reuses thread-local packing buffers across
+  // calls. Repeated identical calls must be bit-identical even when
+  // differently-shaped calls run in between and leave the buffers dirty
+  // (stale panel contents or padding must never leak into a result).
+  Rng rng(241);
+  const int m = 67, n = 45, k = 83, lda = m + 3;
+  std::vector<double> a(static_cast<std::size_t>(lda) * k),
+      b(static_cast<std::size_t>(k) * n), c0(static_cast<std::size_t>(m) * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto& v : c0) v = rng.uniform(-1, 1);
+
+  auto run_gemm = [&](la::Trans ta) {
+    std::vector<double> c = c0;
+    la::gemm(ta, la::Trans::No, m, n, k, 1.5, a.data(),
+             ta == la::Trans::No ? lda : k, b.data(), k, -0.25, c.data(), m);
+    return c;
+  };
+  // Odd-shaped interference calls that dirty the pack buffers (edge
+  // panels, different element type, transposed packing).
+  auto interfere = [&] {
+    std::vector<double> ia(9 * 9, 0.75), ic(9 * 9, 0.0);
+    la::gemm(la::Trans::Yes, la::Trans::Yes, 9, 9, 9, 2.0, ia.data(), 9,
+             ia.data(), 9, 0.0, ic.data(), 9);
+    std::vector<std::complex<double>> za(5 * 5, {1.0, -1.0}), zc(5 * 5);
+    la::gemm(la::Trans::No, la::Trans::Yes, 5, 5, 5, std::complex<double>(1),
+             za.data(), 5, za.data(), 5, std::complex<double>(0), zc.data(),
+             5);
+  };
+
+  for (la::Trans ta : {la::Trans::No, la::Trans::Yes}) {
+    const auto first = run_gemm(ta);
+    for (int rep = 0; rep < 3; ++rep) {
+      interfere();
+      const auto again = run_gemm(ta);
+      ASSERT_EQ(0, std::memcmp(first.data(), again.data(),
+                               first.size() * sizeof(double)))
+          << "gemm not bit-stable, trans="
+          << (ta == la::Trans::No ? "N" : "T") << " rep=" << rep;
+    }
+  }
+
+  // Same property for the blocked trsm, whose GEMM updates go through the
+  // packed engine.
+  const int tri = 65;
+  std::vector<double> t(static_cast<std::size_t>(tri) * tri);
+  for (auto& v : t) v = rng.uniform(-1, 1);
+  for (int i = 0; i < tri; ++i)
+    t[static_cast<std::size_t>(i) * tri + i] += 4.0;
+  std::vector<double> rhs0(static_cast<std::size_t>(tri) * 7);
+  for (auto& v : rhs0) v = rng.uniform(-1, 1);
+  auto run_trsm = [&] {
+    std::vector<double> x = rhs0;
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::Yes,
+             la::Diag::NonUnit, tri, 7, 1.0, t.data(), tri, x.data(), tri);
+    return x;
+  };
+  const auto tfirst = run_trsm();
+  for (int rep = 0; rep < 3; ++rep) {
+    interfere();
+    const auto tagain = run_trsm();
+    ASSERT_EQ(0, std::memcmp(tfirst.data(), tagain.data(),
+                             tfirst.size() * sizeof(double)))
+        << "trsm not bit-stable, rep=" << rep;
   }
 }
 
