@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -168,27 +169,35 @@ int main(int argc, char** argv) {
 
   FILE* f = std::fopen(out.c_str(), "w");
   IRRLU_CHECK_MSG(f != nullptr, "cannot open " << out);
-  std::fprintf(f, "{\n  \"schema\": \"irrlu-bench-blas-v1\",\n");
-  std::fprintf(f, "  \"unit\": \"ns\",\n  \"classes\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
+  irrlu::json::Writer w(f);
+  w.begin_object();
+  w.kv("schema", "irrlu-bench-blas-v1");
+  w.kv("unit", "ns");
+  w.key("classes");
+  w.begin_array();
+  for (const Result& r : results) {
     const ShapeClass& c = r.c;
-    std::fprintf(
-        f,
-        "    {\"name\": \"%s\", \"op\": \"%s\", \"transa\": \"%s\", "
-        "\"transb\": \"%s\", \"side\": \"%s\", \"uplo\": \"%s\", "
-        "\"m\": %d, \"n\": %d, \"k\": %d, \"flops\": %.0f, "
-        "\"engine_median_ns\": %.0f, \"naive_median_ns\": %.0f, "
-        "\"engine_gflops\": %.3f, \"naive_gflops\": %.3f, "
-        "\"speedup\": %.3f}%s\n",
-        c.name.c_str(), c.op.c_str(), tr_name(c.transa), tr_name(c.transb),
-        c.side == la::Side::Left ? "L" : "R",
-        c.uplo == la::Uplo::Lower ? "L" : "U", c.m, c.n, c.k, c.flops(),
-        r.engine_ns, r.naive_ns, c.flops() / r.engine_ns,
-        c.flops() / r.naive_ns, r.naive_ns / r.engine_ns,
-        i + 1 < results.size() ? "," : "");
+    w.begin_object(/*compact=*/true);
+    w.kv("name", c.name);
+    w.kv("op", c.op);
+    w.kv("transa", tr_name(c.transa));
+    w.kv("transb", tr_name(c.transb));
+    w.kv("side", c.side == la::Side::Left ? "L" : "R");
+    w.kv("uplo", c.uplo == la::Uplo::Lower ? "L" : "U");
+    w.kv_int("m", c.m);
+    w.kv_int("n", c.n);
+    w.kv_int("k", c.k);
+    w.kv("flops", c.flops(), "%.0f");
+    w.kv("engine_median_ns", r.engine_ns, "%.0f");
+    w.kv("naive_median_ns", r.naive_ns, "%.0f");
+    w.kv("engine_gflops", c.flops() / r.engine_ns, "%.3f");
+    w.kv("naive_gflops", c.flops() / r.naive_ns, "%.3f");
+    w.kv("speedup", r.naive_ns / r.engine_ns, "%.3f");
+    w.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
+  w.end_array();
+  w.end_object();
+  std::fprintf(f, "\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out.c_str());
   return 0;

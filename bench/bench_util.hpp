@@ -7,6 +7,7 @@
 // runs.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "common/table.hpp"
 #include "gpusim/device.hpp"
 #include "lapack/flops.hpp"
+#include "trace/report.hpp"
+#include "trace/session.hpp"
 
 namespace irrlu::bench {
 
@@ -53,6 +56,45 @@ inline double batch_trsm_flops(const std::vector<int>& m,
 inline double gflops(double flops, double seconds) {
   return seconds > 0 ? flops / seconds / 1e9 : 0.0;
 }
+
+/// Standard tracing hook for the driver binaries: `--trace path.json`
+/// (or the IRRLU_TRACE environment variable) attaches a recorder to `dev`
+/// and writes the Chrome trace plus the "irrlu-trace-summary-v1" JSON on
+/// destruction. With neither set the session is disabled and the device
+/// runs the untraced fast path.
+inline std::unique_ptr<trace::TraceSession> make_trace_session(
+    gpusim::Device& dev, const CliArgs& args) {
+  return std::make_unique<trace::TraceSession>(dev,
+                                               args.get_string("trace", ""));
+}
+
+// ---------------------------------------------------------------------------
+// Trace summary schema ("irrlu-trace-summary-v1", written by
+// trace::write_summary_json next to every Chrome trace; read back with
+// trace::read_summary_json). Top level:
+//
+//   schema            "irrlu-trace-summary-v1"
+//   device            DeviceModel name the run simulated
+//   peak_gflops       roofline compute peak (num_sms * peak_flops_per_sm *
+//                     compute_efficiency)
+//   peak_gbs          roofline memory bandwidth
+//   dropped_launches  launches past the recorder cap (0 for healthy runs)
+//   rows              one entry per (scope x kernel) pair:
+//
+//   scope             full scope path at enqueue ("factor/level=3/panel")
+//   kernel            LaunchConfig name
+//   launches, blocks  counts
+//   flops, bytes      work recorded by the kernel bodies
+//   sim_seconds       sum of per-launch device intervals (end - start);
+//                     overlapping launches double-count by design
+//   excl_seconds      exclusive attribution; per-kernel sums across scopes
+//                     reproduce Device::profile() exactly
+//   wall_seconds      real host seconds executing the kernel bodies
+//   gflops, gbs       flops/bytes over sim_seconds
+//
+// Rows are keyed by (scope, kernel), so per-phase numbers compare PR over
+// PR as long as the scope labels stay stable.
+// ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------
 // BENCH_blas.json schema (written by bench/bench_blas_core, schema id

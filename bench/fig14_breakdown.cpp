@@ -4,6 +4,17 @@
 // model. The batched GEMM path is hybrid, as in the paper: fronts larger
 // than a threshold run dedicated per-front GEMM launches ("cuBLAS GEMM in
 // a loop for sizes > 256").
+//
+// The breakdown is computed from the trace subsystem: every run attaches
+// a trace::Tracer and the class table aggregates per-launch exclusive
+// times by kernel name. This must agree exactly with the legacy
+// hand-timer path (Device::profile()), and the driver verifies that it
+// does. The trace's scope annotations additionally give the *phase* view
+// (panel/swap/trsm/update as enqueued by irr_getrf), which kernel names
+// alone cannot: the recursive irrTRSM launches internal irr_gemm kernels
+// that name-based classing files under GEMM but phase-based classing
+// charges to TRSM.
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -12,6 +23,9 @@
 #include "fem/mesh.hpp"
 #include "fem/nedelec.hpp"
 #include "sparse/solver.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
 
 using namespace irrlu;
 using namespace irrlu::bench;
@@ -26,11 +40,23 @@ std::string op_class(const std::string& kernel) {
   return "LU panel+pivot";  // getf2 / iamax / swap / scal / ger / setup
 }
 
-std::map<std::string, double> breakdown(sparse::Engine engine,
-                                        const sparse::CsrMatrix& a,
-                                        double* total, long* launches,
-                                        int hybrid_threshold = 256) {
+const char* const kPhases[] = {"panel",    "swap",       "trsm",   "update",
+                               "assemble", "extend-add", "extract"};
+
+struct Breakdown {
+  std::map<std::string, double> by_class;  ///< trace, aggregated by kernel
+  std::map<std::string, double> by_phase;  ///< trace, aggregated by scope
+  double total = 0;
+  long launches = 0;
+  double agree_abs = 0;  ///< max |profile() - trace| over classes
+};
+
+Breakdown breakdown(sparse::Engine engine, const sparse::CsrMatrix& a,
+                    int hybrid_threshold = 256,
+                    const std::string& trace_path = {}) {
   gpusim::Device dev(model_by_name("a100"));
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
   sparse::SolverOptions opts;
   opts.nd.leaf_size = 16;  // deep tree: many small fronts, as in the paper
   opts.factor.hybrid_gemm_threshold = hybrid_threshold;
@@ -38,12 +64,37 @@ std::map<std::string, double> breakdown(sparse::Engine engine,
   sparse::SparseDirectSolver solver(opts);
   solver.analyze(a);
   solver.factor(dev);
-  std::map<std::string, double> by_class;
+
+  Breakdown b;
+  // Trace-derived class breakdown (exclusive per-launch attribution).
+  for (const auto& [name, agg] : trace::aggregate_by_kernel(tracer))
+    b.by_class[op_class(name)] += agg.excl_seconds;
+  // The legacy hand-timer path: lifetime-aggregated KernelStats.
+  std::map<std::string, double> from_profile;
   for (const auto& [name, st] : dev.profile())
-    by_class[op_class(name)] += st.sim_seconds;
-  *total = solver.numeric().factor_seconds();
-  *launches = solver.numeric().launch_count();
-  return by_class;
+    from_profile[op_class(name)] += st.sim_seconds;
+  for (const auto& [cls, t] : from_profile)
+    b.agree_abs = std::max(
+        b.agree_abs, std::abs(t - (b.by_class.count(cls) ? b.by_class.at(cls)
+                                                         : 0.0)));
+  // Scope-derived phase breakdown.
+  for (const char* ph : kPhases)
+    b.by_phase[ph] = trace::excl_seconds_in_scope(tracer, ph);
+  b.total = solver.numeric().factor_seconds();
+  b.launches = solver.numeric().launch_count();
+
+  if (!trace_path.empty()) {
+    trace::write_chrome_trace(trace_path, tracer, dev.model());
+    std::printf("wrote %s\n\n", trace_path.c_str());
+  }
+  dev.set_tracer(nullptr);
+  return b;
+}
+
+double at_or_zero(const std::map<std::string, double>& m,
+                  const std::string& k) {
+  const auto it = m.find(k);
+  return it == m.end() ? 0.0 : it->second;
 }
 
 }  // namespace
@@ -59,33 +110,56 @@ int main(int argc, char** argv) {
       mesh, omega, fem::paper_maxwell_load(omega, omega / 1.05));
   std::printf(
       "Figure 14 reproduction: factorization breakdown by operation\n");
-  std::printf("Maxwell torus, N=%d, A100 model\n\n", sys.a.rows());
+  std::printf("Maxwell torus, N=%d, A100 model (trace-derived)\n\n",
+              sys.a.rows());
 
-  double t_b = 0, t_n = 0, t_l = 0;
-  long l_b = 0, l_n = 0, l_l = 0;
-  const auto bat = breakdown(sparse::Engine::kBatched, sys.a, &t_b, &l_b);
-  const auto nohyb =
-      breakdown(sparse::Engine::kBatched, sys.a, &t_n, &l_n, 0);
-  const auto loop = breakdown(sparse::Engine::kLooped, sys.a, &t_l, &l_l);
+  const auto bat = breakdown(sparse::Engine::kBatched, sys.a, 256,
+                             args.get_string("trace", ""));
+  const auto nohyb = breakdown(sparse::Engine::kBatched, sys.a, 0);
+  const auto loop = breakdown(sparse::Engine::kLooped, sys.a);
 
   TextTable table({"operation", "batched+hybrid (ms)", "batched only (ms)",
                    "looped (ms)", "loop/hybrid"});
   for (const char* cls : {"LU panel+pivot", "row swaps (LASWP)", "TRSM",
                           "GEMM", "assembly/extend-add"}) {
-    const double b = bat.count(cls) ? bat.at(cls) : 0.0;
-    const double nh = nohyb.count(cls) ? nohyb.at(cls) : 0.0;
-    const double l = loop.count(cls) ? loop.at(cls) : 0.0;
+    const double b = at_or_zero(bat.by_class, cls);
+    const double nh = at_or_zero(nohyb.by_class, cls);
+    const double l = at_or_zero(loop.by_class, cls);
     table.add_row(cls, TextTable::fmt(b * 1e3, 3), TextTable::fmt(nh * 1e3, 3),
                   TextTable::fmt(l * 1e3, 3),
                   TextTable::fmt(b > 0 ? l / b : 0.0, 1));
   }
-  table.add_row("TOTAL (timeline)", TextTable::fmt(t_b * 1e3, 3),
-                TextTable::fmt(t_n * 1e3, 3), TextTable::fmt(t_l * 1e3, 3),
-                TextTable::fmt(t_l / t_b, 1));
+  table.add_row("TOTAL (timeline)", TextTable::fmt(bat.total * 1e3, 3),
+                TextTable::fmt(nohyb.total * 1e3, 3),
+                TextTable::fmt(loop.total * 1e3, 3),
+                TextTable::fmt(loop.total / bat.total, 1));
   table.print();
+
+  // The trace must reproduce the hand-timer numbers bit for bit: the same
+  // exclusive attribution accumulated in the same order.
+  const double agree =
+      std::max(bat.agree_abs, std::max(nohyb.agree_abs, loop.agree_abs));
+  IRRLU_CHECK_MSG(agree <= 1e-12 * std::max(1e-30, bat.total),
+                  "trace-derived breakdown diverged from Device::profile() "
+                  "by " << agree << " s");
+  std::printf("\ntrace vs hand-timer (Device::profile) max |delta|: %.3g s "
+              "(exact agreement)\n\n",
+              agree);
+
+  // The phase view only the trace can provide: work classed by the scope
+  // the solver enqueued it under. TRSM here includes the internal GEMM
+  // launches of the recursive solve; "update" is the trailing GEMM alone.
+  TextTable phases({"phase (trace scope)", "batched+hybrid (ms)",
+                    "batched only (ms)", "looped (ms)"});
+  for (const char* ph : kPhases)
+    phases.add_row(ph, TextTable::fmt(at_or_zero(bat.by_phase, ph) * 1e3, 3),
+                   TextTable::fmt(at_or_zero(nohyb.by_phase, ph) * 1e3, 3),
+                   TextTable::fmt(at_or_zero(loop.by_phase, ph) * 1e3, 3));
+  phases.print();
+
   std::printf("\nkernel launches: batched+hybrid=%ld, batched-only=%ld, "
               "looped=%ld\n",
-              l_b, l_n, l_l);
+              bat.launches, nohyb.launches, loop.launches);
   std::printf(
       "paper: irrLU and irrTRSM beat the looped GETRF/GETRS at almost all"
       "\nsizes; GEMM is hybrid (irrGEMM <= 256, per-front beyond).\n");

@@ -5,11 +5,17 @@
 //
 //   build/examples/maxwell_solver [--ntheta 24] [--ncross 8] [--omega 16]
 //                                 [--device a100|mi100|cpu]
+//                                 [--trace trace.json]
 //
 // Prints the three solver phases with their statistics, mirroring the
 // paper's reporting: analysis (MC64 + nested dissection + symbolic),
 // numeric factorization (simulated device time, launches), and solve with
 // one step of iterative refinement to machine precision.
+//
+// With --trace (or IRRLU_TRACE=trace.json in the environment) the run
+// records every kernel launch and writes a chrome://tracing JSON plus an
+// aggregate summary; load the trace in Perfetto (ui.perfetto.dev) to see
+// per-stream timelines and the per-level / front-class scope spans.
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -18,6 +24,7 @@
 #include "fem/nedelec.hpp"
 #include "gpusim/device.hpp"
 #include "sparse/solver.hpp"
+#include "trace/session.hpp"
 
 using namespace irrlu;
 
@@ -60,6 +67,7 @@ int main(int argc, char** argv) {
                                         ? gpusim::DeviceModel::xeon6140x2()
                                         : gpusim::DeviceModel::a100();
   gpusim::Device dev(model);
+  trace::TraceSession trace_session(dev, args.get_string("trace", ""));
   solver.factor(dev);
   const auto& num = solver.numeric();
   std::printf("phase 2 (factorization) on %s:\n", model.name.c_str());
@@ -78,5 +86,12 @@ int main(int argc, char** argv) {
   double emax = 0;
   for (double v : x) emax = std::max(emax, std::abs(v));
   std::printf("\nmax |E| circulation: %.4g\n", emax);
+
+  if (trace_session.enabled()) {
+    trace_session.write();
+    std::printf("\nwrote trace: %s (load in Perfetto / chrome://tracing)\n",
+                trace_session.path().c_str());
+    std::printf("wrote summary: %s\n", trace_session.summary_path().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,386 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace irrlu::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::raw(std::string_view s) {
+  std::fwrite(s.data(), 1, s.size(), f_);
+}
+
+void Writer::value_prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // root value
+  Frame& fr = stack_.back();
+  IRRLU_CHECK_MSG(fr.array, "json::Writer: object member without a key");
+  if (fr.count++ > 0) raw(",");
+  if (!fr.compact) {
+    raw("\n");
+    for (std::size_t i = 0; i < stack_.size(); ++i) raw("  ");
+  }
+}
+
+void Writer::key(std::string_view k) {
+  IRRLU_CHECK_MSG(!stack_.empty() && !stack_.back().array && !after_key_,
+                  "json::Writer: key() outside an object");
+  Frame& fr = stack_.back();
+  if (fr.count++ > 0) raw(",");
+  if (!fr.compact) {
+    raw("\n");
+    for (std::size_t i = 0; i < stack_.size(); ++i) raw("  ");
+  }
+  raw("\"");
+  raw(escape(k));
+  raw("\": ");
+  after_key_ = true;
+}
+
+void Writer::begin_object(bool compact) {
+  value_prefix();
+  // Nested containers inside a compact container stay compact.
+  if (!stack_.empty() && stack_.back().compact) compact = true;
+  stack_.push_back({false, compact, 0});
+  raw("{");
+}
+
+void Writer::end_object() {
+  IRRLU_CHECK_MSG(!stack_.empty() && !stack_.back().array && !after_key_,
+                  "json::Writer: unbalanced end_object()");
+  const Frame fr = stack_.back();
+  stack_.pop_back();
+  if (!fr.compact && fr.count > 0) {
+    raw("\n");
+    for (std::size_t i = 0; i < stack_.size(); ++i) raw("  ");
+  }
+  raw("}");
+}
+
+void Writer::begin_array(bool compact) {
+  value_prefix();
+  if (!stack_.empty() && stack_.back().compact) compact = true;
+  stack_.push_back({true, compact, 0});
+  raw("[");
+}
+
+void Writer::end_array() {
+  IRRLU_CHECK_MSG(!stack_.empty() && stack_.back().array,
+                  "json::Writer: unbalanced end_array()");
+  const Frame fr = stack_.back();
+  stack_.pop_back();
+  if (!fr.compact && fr.count > 0) {
+    raw("\n");
+    for (std::size_t i = 0; i < stack_.size(); ++i) raw("  ");
+  }
+  raw("]");
+}
+
+void Writer::string(std::string_view v) {
+  value_prefix();
+  raw("\"");
+  raw(escape(v));
+  raw("\"");
+}
+
+void Writer::number(double v, const char* fmt) {
+  value_prefix();
+  if (!std::isfinite(v)) {  // JSON has no NaN/Inf literal
+    raw("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  raw(buf);
+}
+
+void Writer::number_int(long long v) {
+  value_prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  raw(buf);
+}
+
+void Writer::boolean(bool v) {
+  value_prefix();
+  raw(v ? "true" : "false");
+}
+
+void Writer::null() {
+  value_prefix();
+  raw("null");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::as_number() const {
+  IRRLU_CHECK_MSG(type == Type::kNumber, "json: value is not a number");
+  return number;
+}
+
+long long Value::as_int() const {
+  return static_cast<long long>(as_number());
+}
+
+const std::string& Value::as_string() const {
+  IRRLU_CHECK_MSG(type == Type::kString, "json: value is not a string");
+  return str;
+}
+
+bool Value::as_bool() const {
+  IRRLU_CHECK_MSG(type == Type::kBool, "json: value is not a bool");
+  return boolean;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v && v->type == Type::kNumber ? v->number : fallback;
+}
+
+std::string Value::string_or(std::string_view key,
+                             const std::string& fallback) const {
+  const Value* v = find(key);
+  return v && v->type == Type::kString ? v->str : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    IRRLU_CHECK_MSG(pos_ == s_.size(),
+                    "json: trailing characters at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    IRRLU_CHECK_MSG(pos_ < s_.size(), "json: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    IRRLU_CHECK_MSG(pos_ < s_.size() && s_[pos_] == c,
+                    "json: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    Value v;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.type = Value::Type::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.type = Value::Type::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Value v;
+    v.type = Value::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.type = Value::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          IRRLU_CHECK_MSG(pos_ + 4 <= s_.size(),
+                          "json: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              IRRLU_CHECK_MSG(false, "json: bad \\u escape digit");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not produced by
+          // our own writer).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          IRRLU_CHECK_MSG(false, "json: bad escape '\\" << e << "'");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    IRRLU_CHECK_MSG(pos_ > start, "json: invalid value at offset " << start);
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  IRRLU_CHECK_MSG(f != nullptr, "json: cannot open " << path);
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return parse(text);
+}
+
+}  // namespace irrlu::json

@@ -1,0 +1,104 @@
+// Shared JSON support: a streaming writer used by the benchmark drivers
+// and the trace exporters, plus a small recursive-descent parser used to
+// read those files back (trace validation, summary consumers).
+//
+// The writer tracks nesting and comma placement so call sites only state
+// structure; containers can be marked compact to keep large event arrays
+// one line per element (Chrome traces easily reach 1e5 events).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace irrlu::json {
+
+/// Escapes a string for inclusion inside JSON double quotes (quotes,
+/// backslashes, and control characters; no outer quotes added).
+std::string escape(std::string_view s);
+
+/// Streaming JSON writer over a FILE*. Structural errors (value with no
+/// pending key inside an object, unbalanced end_*) throw irrlu::Error.
+class Writer {
+ public:
+  explicit Writer(FILE* f) : f_(f) {}
+
+  /// `compact` suppresses newlines/indentation inside this container.
+  void begin_object(bool compact = false);
+  void end_object();
+  void begin_array(bool compact = false);
+  void end_array();
+
+  void key(std::string_view k);
+  void string(std::string_view v);
+  /// `fmt` is a printf format for one double ("%.17g" round-trips).
+  void number(double v, const char* fmt = "%.17g");
+  void number_int(long long v);
+  void boolean(bool v);
+  void null();
+
+  // Key + value in one call, for flat objects.
+  void kv(std::string_view k, std::string_view v) { key(k); string(v); }
+  void kv(std::string_view k, const char* v) { key(k); string(v); }
+  void kv(std::string_view k, double v, const char* fmt = "%.17g") {
+    key(k);
+    number(v, fmt);
+  }
+  void kv_int(std::string_view k, long long v) { key(k); number_int(v); }
+  void kv_bool(std::string_view k, bool v) { key(k); boolean(v); }
+
+ private:
+  struct Frame {
+    bool array;
+    bool compact;
+    int count = 0;
+  };
+  void value_prefix();  ///< separator/indent before an array element or root
+  void raw(std::string_view s);
+
+  FILE* f_;
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (arrays/objects own their children; object key order
+/// is preserved).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;                           ///< array elements
+  std::vector<std::pair<std::string, Value>> fields;  ///< object members
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  // Checked accessors (throw irrlu::Error on type mismatch).
+  double as_number() const;
+  long long as_int() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+
+  /// find() + as_number(), with a fallback when the key is absent.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key,
+                        const std::string& fallback) const;
+};
+
+/// Parses a complete JSON document; throws irrlu::Error on malformed input
+/// or trailing garbage.
+Value parse(std::string_view text);
+
+/// Reads and parses a whole file; throws irrlu::Error if unreadable.
+Value parse_file(const std::string& path);
+
+}  // namespace irrlu::json

@@ -1,7 +1,10 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+
+#include "trace/trace.hpp"
 
 namespace irrlu::gpusim {
 
@@ -24,9 +27,26 @@ Stream& Device::stream(int i) {
   return *streams_[static_cast<std::size_t>(i)];
 }
 
-void Device::begin_launch(const LaunchConfig&) {
+void Device::begin_launch([[maybe_unused]] const LaunchConfig& cfg) {
+#ifndef NDEBUG
+  // Two launch sites sharing one kernel name fold their profile() and
+  // trace statistics together — usually a naming bug. Warn once per name.
+  const auto site = std::make_pair(std::string(cfg.where.file_name()),
+                                   static_cast<unsigned>(cfg.where.line()));
+  const auto [it, inserted] = launch_sites_.try_emplace(cfg.name, site);
+  if (!inserted && it->second.second != 0 && it->second != site) {
+    std::fprintf(stderr,
+                 "irrlu: kernel name '%s' launched from %s:%u and %s:%u; "
+                 "their stats fold together — give each kernel a unique "
+                 "name\n",
+                 cfg.name, it->second.first.c_str(), it->second.second,
+                 site.first.c_str(), site.second);
+    it->second.second = 0;  // already reported
+  }
+#endif
   launch_flops_ = 0;
   launch_bytes_ = 0;
+  launch_wall_seconds_ = 0;
 }
 
 void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
@@ -47,6 +67,7 @@ void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
 
   const double stream_prev = s.cursor_;
   double end = earliest;  // empty grids still occupy the launch latency
+  double first_start = earliest;  // simulated start of the first block
   if (!block_costs_.empty()) {
     // Bandwidth is shared among the blocks of a wave: as many blocks as
     // the grid provides, up to the occupancy-limited slot count.
@@ -57,10 +78,17 @@ void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
     std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> pq;
     for (std::size_t i = 0; i < nslots && i < slot_free_.size(); ++i)
       pq.emplace(slot_free_[i], i);
+    bool first = true;
     for (const auto& [flops, bytes] : block_costs_) {
       auto [free_at, idx] = pq.top();
       pq.pop();
       const double start = std::max(free_at, earliest);
+      // The priority queue pops slots in order of free time, so the first
+      // block has the globally earliest start of the launch.
+      if (first) {
+        first_start = start;
+        first = false;
+      }
       const double done = start + model_.block_start_overhead +
                           model_.block_seconds(flops, bytes, bw);
       slot_free_[idx] = done;
@@ -79,15 +107,38 @@ void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
   // Exclusive attribution: only the interval this launch extends its
   // stream's timeline by (plus its dispatch cost). Summing over kernels of
   // a single-stream schedule reproduces the stream's total busy time.
-  ks.sim_seconds +=
-      (end - std::max(stream_prev, dispatch_done)) +
-      model_.host_dispatch_overhead;
+  const double excl = (end - std::max(stream_prev, dispatch_done)) +
+                      model_.host_dispatch_overhead;
+  ks.sim_seconds += excl;
+
+  if (tracer_ != nullptr) {
+    trace::LaunchRecord r;
+    r.name_id = tracer_->intern_kernel(cfg.name);
+    r.scope = tracer_->current_scope();
+    r.stream = s.id_;
+    r.blocks = static_cast<int>(block_costs_.size());
+    r.smem_bytes = cfg.smem_bytes;
+    r.flops = launch_flops_;
+    r.bytes = launch_bytes_;
+    r.sim_start = first_start;
+    r.sim_end = end;
+    r.excl_seconds = excl;
+    r.host_issue = dispatch_done - model_.host_dispatch_overhead;
+    r.wall_seconds = launch_wall_seconds_;
+    tracer_->on_launch(r);
+  }
 }
 
-Event Device::record(Stream& s) { return Event(s.cursor_); }
+Event Device::record(Stream& s) {
+  if (tracer_ != nullptr)
+    tracer_->on_event(/*is_wait=*/false, s.id_, s.cursor_);
+  return Event(s.cursor_);
+}
 
 void Device::wait(Stream& s, const Event& e) {
   s.cursor_ = std::max(s.cursor_, e.time());
+  if (tracer_ != nullptr)
+    tracer_->on_event(/*is_wait=*/true, s.id_, s.cursor_);
 }
 
 void Device::synchronize(Stream& s) {
@@ -95,6 +146,7 @@ void Device::synchronize(Stream& s) {
   const double before = host_time_;
   host_time_ = std::max(host_time_, s.cursor_) + model_.stream_sync_overhead;
   sync_wait_seconds_ += host_time_ - before;
+  if (tracer_ != nullptr) tracer_->on_sync(s.id_, before, host_time_);
 }
 
 double Device::synchronize_all() {
@@ -104,6 +156,7 @@ double Device::synchronize_all() {
   for (auto& s : streams_) t = std::max(t, s->cursor_);
   host_time_ = t + model_.stream_sync_overhead;
   sync_wait_seconds_ += host_time_ - before;
+  if (tracer_ != nullptr) tracer_->on_sync(-1, before, host_time_);
   return host_time_;
 }
 

@@ -19,16 +19,22 @@
 //  - synchronize() joins a stream's timeline back into the host timeline.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <queue>
+#include <source_location>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "gpusim/device_model.hpp"
+
+namespace irrlu::trace {
+class Tracer;
+}
 
 namespace irrlu::gpusim {
 
@@ -108,6 +114,10 @@ struct LaunchConfig {
   const char* name;            ///< kernel name, for profiling
   int blocks = 1;              ///< grid size (linearized)
   std::size_t smem_bytes = 0;  ///< declared shared memory per block
+  /// Call site of the aggregate initialization (C++20 evaluates the
+  /// default member initializer at the braced-init site); used by the
+  /// debug-mode duplicate-kernel-name audit.
+  std::source_location where = std::source_location::current();
 };
 
 /// Aggregated per-kernel-name statistics over the device's lifetime.
@@ -151,6 +161,10 @@ class Device {
     begin_launch(cfg);
     block_costs_.clear();
     block_costs_.reserve(static_cast<std::size_t>(cfg.blocks));
+    // Host wall time of the kernel bodies is a trace-only observable; the
+    // clock reads are skipped entirely when no tracer is attached.
+    std::chrono::steady_clock::time_point wall0;
+    if (tracer_ != nullptr) wall0 = std::chrono::steady_clock::now();
     for (int b = 0; b < cfg.blocks; ++b) {
       BlockCtx ctx;
       ctx.block_ = b;
@@ -163,6 +177,11 @@ class Device {
       launch_flops_ += ctx.flops_;
       launch_bytes_ += ctx.bytes_;
     }
+    if (tracer_ != nullptr)
+      launch_wall_seconds_ =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall0)
+              .count();
     end_launch(s, cfg);
   }
 
@@ -193,6 +212,12 @@ class Device {
     return profile_;
   }
 
+  /// Attaches (or detaches, with nullptr) a per-launch trace recorder.
+  /// The tracer is pure bookkeeping: simulated timelines are identical
+  /// with and without one attached.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Allocates device memory (tracked; freed via DeviceBuffer RAII).
   template <typename T>
   DeviceBuffer<T> alloc(std::size_t count);
@@ -219,6 +244,13 @@ class Device {
   std::vector<double> slot_free_;  ///< num_sms * max_blocks_per_sm SM slots
   std::vector<std::pair<double, double>> block_costs_;  ///< (flops, bytes)
   double launch_flops_ = 0, launch_bytes_ = 0;
+
+  // --- tracing (never feeds back into the timelines) ---
+  trace::Tracer* tracer_ = nullptr;
+  double launch_wall_seconds_ = 0;
+  /// First launch site seen per kernel name, for the debug-mode
+  /// duplicate-name audit (folded stats are usually a naming bug).
+  std::map<std::string, std::pair<std::string, unsigned>> launch_sites_;
 
   // --- accounting ---
   long launch_count_ = 0;

@@ -12,6 +12,7 @@
 #include "irrblas/dcwi.hpp"
 #include "irrblas/irr_kernels.hpp"
 #include "lapack/blas.hpp"
+#include "trace/trace.hpp"
 
 namespace irrlu::batch {
 
@@ -64,41 +65,55 @@ void irr_getrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
     // --- panel decomposition (§IV-E) -------------------------------------
     // Rough shared-memory estimate with the fixed-width assumption: the
     // tallest remaining panel is (m - j) rows by jb columns.
-    const bool fused = !opts.force_columnwise_panel &&
-                       irr_getf2_smem_bytes<T>(m - j, jb) <=
-                           dev.model().shared_mem_per_block;
-    if (fused) {
-      irr_getf2_fused(dev, stream, m - j, jb, dA_array, ldda, Ai + j, Aj + j,
-                      m_vec, n_vec, ipiv_array, info_array, batch_size);
-    } else {
-      irr_panel_columnwise(dev, stream, m - j, jb, dA_array, ldda, Ai + j,
-                           Aj + j, m_vec, n_vec, ipiv_array, info_array,
-                           batch_size);
+    {
+      IRRLU_TRACE_SCOPE(dev.tracer(), "panel");
+      const bool fused = !opts.force_columnwise_panel &&
+                         irr_getf2_smem_bytes<T>(m - j, jb) <=
+                             dev.model().shared_mem_per_block;
+      if (fused) {
+        irr_getf2_fused(dev, stream, m - j, jb, dA_array, ldda, Ai + j,
+                        Aj + j, m_vec, n_vec, ipiv_array, info_array,
+                        batch_size);
+      } else {
+        irr_panel_columnwise(dev, stream, m - j, jb, dA_array, ldda, Ai + j,
+                             Aj + j, m_vec, n_vec, ipiv_array, info_array,
+                             batch_size);
+      }
     }
 
     // --- row interchanges outside the panel (§IV-F) ----------------------
-    if (opts.laswp_aux_stream != nullptr &&
-        opts.laswp == LaswpMethod::kRehearsal) {
-      irr_laswp_dual(dev, stream, *opts.laswp_aux_stream, j, jb, dA_array,
-                     ldda, m_vec, n_vec,
-                     const_cast<int const* const*>(ipiv_array), batch_size,
-                     laswp_ws);
-    } else {
-      irr_laswp(dev, stream, j, jb, dA_array, ldda, m_vec, n_vec,
-                const_cast<int const* const*>(ipiv_array), batch_size,
-                opts.laswp, laswp_ws);
+    {
+      IRRLU_TRACE_SCOPE(dev.tracer(), "swap");
+      if (opts.laswp_aux_stream != nullptr &&
+          opts.laswp == LaswpMethod::kRehearsal) {
+        irr_laswp_dual(dev, stream, *opts.laswp_aux_stream, j, jb, dA_array,
+                       ldda, m_vec, n_vec,
+                       const_cast<int const* const*>(ipiv_array), batch_size,
+                       laswp_ws);
+      } else {
+        irr_laswp(dev, stream, j, jb, dA_array, ldda, m_vec, n_vec,
+                  const_cast<int const* const*>(ipiv_array), batch_size,
+                  opts.laswp, laswp_ws);
+      }
     }
 
     // --- triangular solve for the U block row ----------------------------
     if (j + jb < n) {
-      irr_trsm(dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::No,
-               la::Diag::Unit, jb, n - j - jb, T(1),
-               const_cast<T const* const*>(dA_array), ldda, Ai + j, Aj + j,
-               dA_array, ldda, Ai + j, Aj + j + jb, kmin_ws, n_vec,
-               batch_size);
+      {
+        // Recursive irr_trsm launches internal irr_gemm kernels; scope
+        // attribution charges them to the trsm phase (kernel-name
+        // attribution still classes them as GEMM).
+        IRRLU_TRACE_SCOPE(dev.tracer(), "trsm");
+        irr_trsm(dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                 la::Diag::Unit, jb, n - j - jb, T(1),
+                 const_cast<T const* const*>(dA_array), ldda, Ai + j, Aj + j,
+                 dA_array, ldda, Ai + j, Aj + j + jb, kmin_ws, n_vec,
+                 batch_size);
+      }
 
       // --- trailing update (irrGEMM, §IV-C) -------------------------------
       if (j + jb < m) {
+        IRRLU_TRACE_SCOPE(dev.tracer(), "update");
         irr_gemm(dev, stream, la::Trans::No, la::Trans::No, m - j - jb,
                  n - j - jb, jb, T(-1),
                  const_cast<T const* const*>(dA_array), ldda, Ai + j + jb,

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "lapack/blas.hpp"
 #include "lapack/lapack.hpp"
+#include "trace/trace.hpp"
 
 namespace irrlu::sparse {
 
@@ -130,6 +132,20 @@ struct FrontGroup {
   }
 };
 
+/// Trace label bucketing a front group by its largest front dimension —
+/// the paper's front-size classes (Fig. 13/14). Groups are formed per
+/// level, so the largest member characterizes the batch.
+const char* front_class(const std::vector<int>& ids,
+                        const SymbolicAnalysis& sym) {
+  int dmax = 0;
+  for (int id : ids)
+    dmax = std::max(dmax, sym.fronts[static_cast<std::size_t>(id)].dim());
+  if (dmax < 32) return "fronts<32";
+  if (dmax < 128) return "fronts<128";
+  if (dmax < 512) return "fronts<512";
+  return "fronts>=512";
+}
+
 }  // namespace
 
 std::size_t MultifrontalFactor::factor_bytes() const {
@@ -182,6 +198,10 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   const double w0 = dev.sync_wait_seconds();
   const std::size_t peak0 = dev.peak_bytes();
   auto& stream = dev.stream();
+
+  // Everything the constructor enqueues is attributed under "factor"
+  // (trace scopes are free when no tracer is attached).
+  IRRLU_TRACE_SCOPE(dev.tracer(), "factor");
 
   FrontStorage storage(dev, sym, mode);
 
@@ -250,6 +270,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   // Zero + assemble-from-A the given fronts (their storage must be live).
   auto assemble = [&](const std::vector<int>& ids) {
     if (ids.empty()) return;
+    IRRLU_TRACE_SCOPE(dev.tracer(), "assemble");
     struct Meta {
       double* base;
       int dim, a0, a1;
@@ -301,6 +322,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       }
     }
     if (metas->empty()) return;
+    IRRLU_TRACE_SCOPE(dev.tracer(), "extend-add");
     dev.launch(stream,
                {"mf_extend_add", static_cast<int>(metas->size()), 0},
                [metas, smap](gpusim::BlockCtx& ctx) {
@@ -334,6 +356,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
                         fr.s(), fr.u(), fr.dim()});
     }
     if (metas->empty()) return;
+    IRRLU_TRACE_SCOPE(dev.tracer(), "extract");
     dev.launch(stream,
                {"mf_extract", static_cast<int>(metas->size()), 0},
                [metas](gpusim::BlockCtx& ctx) {
@@ -389,6 +412,8 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   auto factor_group_on = [&](const FrontGroup& g, gpusim::Stream& stream,
                              const batch::IrrLuOptions& lu_opts) {
     if (g.count == 0 || g.smax == 0) return;
+    IRRLU_TRACE_SCOPE(dev.tracer(),
+                      dev.tracer() ? front_class(g.ids, sym) : "");
     batch::irr_getrf<double>(dev, stream, g.smax, g.smax, g.f.data(),
                              g.ld.data(), 0, 0, g.svec.data(), g.svec.data(),
                              g.ipiv.data(), g.info.data(), g.count, lu_opts);
@@ -435,6 +460,9 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       for (int lvl = deepest; lvl >= 0; --lvl) {
         const auto& ids = sym.levels[static_cast<std::size_t>(lvl)];
         if (ids.empty()) continue;
+        trace::TraceScope level_scope(
+            dev.tracer(), dev.tracer() ? "level=" + std::to_string(lvl)
+                                       : std::string());
         storage.ensure_level(lvl);
         assemble(ids);
         gather_children(ids);
@@ -493,6 +521,10 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       // front (the right-looking engine also synchronizes per supernode).
       for (std::size_t fi = 0; fi < nf; ++fi) {
         const int id = static_cast<int>(fi);
+        trace::TraceScope level_scope(
+            dev.tracer(),
+            dev.tracer() ? "level=" + std::to_string(sym.fronts[fi].level)
+                         : std::string());
         assemble({id});
         gather_children({id});
         factor_group(make_group({id}));
@@ -509,6 +541,9 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
            --lvl) {
         const auto& ids = sym.levels[static_cast<std::size_t>(lvl)];
         if (ids.empty()) continue;
+        trace::TraceScope level_scope(
+            dev.tracer(), dev.tracer() ? "level=" + std::to_string(lvl)
+                                       : std::string());
         assemble(ids);
         gather_children(ids);
         std::vector<int> tiny, rest;
@@ -581,10 +616,13 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
         static_cast<std::size_t>(max_u));
   };
 
+  IRRLU_TRACE_SCOPE(dev_.tracer(), "solve");
+
   // Forward sweep, leaves to root: x_s <- L11^{-1} P x_s;
   // x[upd] -= L21 x_s.
   for (int lvl = static_cast<int>(sym_.levels.size()) - 1; lvl >= 0;
        --lvl) {
+    IRRLU_TRACE_SCOPE(dev_.tracer(), "fwd");
     auto metas = level_metas(lvl, /*forward=*/true);
     if (metas->empty()) continue;
     auto tmp = level_scratch(*metas);
@@ -611,6 +649,7 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
   }
   // Backward sweep, root to leaves: x_s <- U11^{-1}(x_s - U12 x[upd]).
   for (std::size_t lvl = 0; lvl < sym_.levels.size(); ++lvl) {
+    IRRLU_TRACE_SCOPE(dev_.tracer(), "bwd");
     auto metas = level_metas(static_cast<int>(lvl), /*forward=*/false);
     if (metas->empty()) continue;
     auto tmp = level_scratch(*metas);

@@ -1,0 +1,72 @@
+// Aggregated counter reports over a Tracer: per (scope x kernel) rollups,
+// a human-readable table with achieved GF/s and GB/s against the
+// DeviceModel roofline, and a machine-readable summary JSON
+// ("irrlu-trace-summary-v1") consumed by the bench drivers.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace irrlu::gpusim {
+struct DeviceModel;
+}
+
+namespace irrlu::trace {
+
+class Tracer;
+
+/// Rollup of a set of launches.
+struct Agg {
+  long launches = 0;
+  long blocks = 0;
+  double flops = 0;
+  double bytes = 0;
+  double sim_seconds = 0;   ///< sum of (sim_end - sim_start)
+  double excl_seconds = 0;  ///< sum of exclusive attributions; per-kernel
+                            ///< sums match Device::profile() exactly
+  double wall_seconds = 0;
+};
+
+/// Per (innermost scope id, kernel name id) rollup. Scope -1 collects
+/// launches outside any scope.
+std::map<std::pair<int, int>, Agg> aggregate(const Tracer& tracer);
+
+/// Per kernel-name rollup over all scopes. The excl_seconds/flops/bytes/
+/// launches/blocks fields reproduce Device::profile() bit for bit (same
+/// values accumulated in the same order).
+std::map<std::string, Agg> aggregate_by_kernel(const Tracer& tracer);
+
+/// Sums the exclusive attribution of every launch whose scope chain
+/// contains a scope labeled `label` (e.g. "trsm", "level=3").
+double excl_seconds_in_scope(const Tracer& tracer, const std::string& label);
+
+/// Prints the flat per (scope x kernel) counter table with achieved GF/s,
+/// GB/s, and percentages of the model roofline to `out`.
+void print_report(std::ostream& out, const Tracer& tracer,
+                  const gpusim::DeviceModel& model);
+
+/// Writes the "irrlu-trace-summary-v1" JSON (see bench_util.hpp for the
+/// schema documentation).
+void write_summary_json(const std::string& path, const Tracer& tracer,
+                        const gpusim::DeviceModel& model);
+
+/// One row of a summary file, as read back by consumers.
+struct SummaryRow {
+  std::string scope;
+  std::string kernel;
+  long launches = 0;
+  long blocks = 0;
+  double flops = 0;
+  double bytes = 0;
+  double sim_seconds = 0;
+  double excl_seconds = 0;
+};
+
+/// Reads a summary written by write_summary_json (throws irrlu::Error on
+/// schema mismatch).
+std::vector<SummaryRow> read_summary_json(const std::string& path);
+
+}  // namespace irrlu::trace

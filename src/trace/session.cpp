@@ -1,0 +1,43 @@
+#include "trace/session.hpp"
+
+#include <cstdlib>
+
+#include "gpusim/device.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/report.hpp"
+
+namespace irrlu::trace {
+
+TraceSession::TraceSession(gpusim::Device& dev, std::string path)
+    : path_(std::move(path)) {
+  if (path_.empty()) {
+    const char* env = std::getenv("IRRLU_TRACE");
+    if (env != nullptr) path_ = env;
+  }
+  if (path_.empty()) return;  // disabled: the device keeps its null tracer
+  dev_ = &dev;
+  tracer_ = std::make_unique<Tracer>();
+  dev_->set_tracer(tracer_.get());
+}
+
+TraceSession::~TraceSession() {
+  if (!enabled()) return;
+  write();
+  if (dev_->tracer() == tracer_.get()) dev_->set_tracer(nullptr);
+}
+
+std::string TraceSession::summary_path() const {
+  const std::string suffix = ".json";
+  if (path_.size() > suffix.size() &&
+      path_.compare(path_.size() - suffix.size(), suffix.size(), suffix) == 0)
+    return path_.substr(0, path_.size() - suffix.size()) + ".summary.json";
+  return path_ + ".summary.json";
+}
+
+void TraceSession::write() {
+  if (!enabled()) return;
+  write_chrome_trace(path_, *tracer_, dev_->model());
+  write_summary_json(summary_path(), *tracer_, dev_->model());
+}
+
+}  // namespace irrlu::trace

@@ -1,0 +1,50 @@
+// TraceSession: attaches a Tracer to a Device for the session's lifetime
+// and writes the exporters on write()/destruction.
+//
+//   gpusim::Device dev(model);
+//   trace::TraceSession session(dev, args.get_string("trace", ""));
+//   ... run ...
+//   session.write();  // chrome trace + summary (also done by the dtor)
+//
+// An empty path falls back to the IRRLU_TRACE environment variable; if
+// that is empty too, the session is disabled and the device runs exactly
+// as without tracing (the null-tracer fast path).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace irrlu::gpusim {
+class Device;
+}
+
+namespace irrlu::trace {
+
+class TraceSession {
+ public:
+  explicit TraceSession(gpusim::Device& dev, std::string path = {});
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+  Tracer* tracer() { return tracer_.get(); }
+  const std::string& path() const { return path_; }
+  /// The summary lands next to the Chrome trace: "x.json" ->
+  /// "x.summary.json" (otherwise ".summary.json" is appended).
+  std::string summary_path() const;
+
+  /// Writes the Chrome trace and the summary JSON. Idempotent; detaches
+  /// nothing (the run may continue and write() again with more data).
+  void write();
+
+ private:
+  gpusim::Device* dev_ = nullptr;
+  std::unique_ptr<Tracer> tracer_;
+  std::string path_;
+};
+
+}  // namespace irrlu::trace

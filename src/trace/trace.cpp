@@ -1,0 +1,103 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace irrlu::trace {
+
+Tracer::Tracer(std::size_t reserve_launches, std::size_t max_launches)
+    : max_launches_(max_launches) {
+  launches_.reserve(std::min(reserve_launches, max_launches));
+}
+
+int Tracer::intern_kernel(const char* name) {
+  const auto [it, inserted] =
+      name_ids_.try_emplace(name, static_cast<int>(names_.size()));
+  if (inserted) names_.push_back(it->first);
+  return it->second;
+}
+
+void Tracer::on_launch(const LaunchRecord& r) {
+  max_stream_ = std::max(max_stream_, r.stream);
+  if (launches_.size() >= max_launches_) {
+    ++dropped_;
+    return;
+  }
+  launches_.push_back(r);
+}
+
+void Tracer::on_sync(int stream, double host_begin, double host_end) {
+  syncs_.push_back({stream, host_begin, host_end});
+}
+
+void Tracer::on_event(bool is_wait, int stream, double time) {
+  events_.push_back({is_wait, stream, time});
+}
+
+int Tracer::push_scope(std::string_view label) {
+  const int parent = current_scope_;
+  auto key = std::make_pair(parent, std::string(label));
+  const auto it = scope_ids_.find(key);
+  int id;
+  if (it == scope_ids_.end()) {
+    id = static_cast<int>(scope_nodes_.size());
+    ScopeNode node;
+    node.label = key.second;
+    node.parent = parent;
+    node.depth =
+        parent < 0 ? 0
+                   : scope_nodes_[static_cast<std::size_t>(parent)].depth + 1;
+    scope_nodes_.push_back(std::move(node));
+    scope_ids_.emplace(std::move(key), id);
+  } else {
+    id = it->second;
+  }
+  ++scope_nodes_[static_cast<std::size_t>(id)].entries;
+  scope_stack_.push_back(id);
+  current_scope_ = id;
+  return id;
+}
+
+void Tracer::pop_scope(double wall_seconds) {
+  if (scope_stack_.empty()) return;  // tolerate unbalanced pops
+  scope_nodes_[static_cast<std::size_t>(scope_stack_.back())].wall_seconds +=
+      wall_seconds;
+  scope_stack_.pop_back();
+  current_scope_ = scope_stack_.empty() ? -1 : scope_stack_.back();
+}
+
+std::string Tracer::scope_path(int id) const {
+  if (id < 0) return {};
+  std::vector<const std::string*> parts;
+  for (int s = id; s >= 0;
+       s = scope_nodes_[static_cast<std::size_t>(s)].parent)
+    parts.push_back(&scope_nodes_[static_cast<std::size_t>(s)].label);
+  std::string path;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!path.empty()) path += '/';
+    path += **it;
+  }
+  return path;
+}
+
+bool Tracer::scope_within(int id, int ancestor) const {
+  for (int s = id; s >= 0;
+       s = scope_nodes_[static_cast<std::size_t>(s)].parent)
+    if (s == ancestor) return true;
+  return false;
+}
+
+void Tracer::clear() {
+  launches_.clear();
+  syncs_.clear();
+  events_.clear();
+  dropped_ = 0;
+  max_stream_ = 0;
+  names_.clear();
+  name_ids_.clear();
+  scope_nodes_.clear();
+  scope_ids_.clear();
+  scope_stack_.clear();
+  current_scope_ = -1;
+}
+
+}  // namespace irrlu::trace

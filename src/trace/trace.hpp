@@ -1,0 +1,149 @@
+// Tracing & telemetry for the simulated device: a per-launch event
+// recorder plus RAII scope annotations, feeding the Chrome-trace and
+// aggregate-report exporters (see DESIGN.md, "Tracing and telemetry").
+//
+// Layering: this header is free of gpusim includes so the trace library
+// sits *below* gpusim. Device holds a `trace::Tracer*` (forward-declared)
+// and feeds it from end_launch/record/wait/synchronize; a null pointer —
+// the default — costs one branch per launch and records nothing.
+//
+// The tracer is pure bookkeeping: it never advances any simulated
+// timeline, so tracing on/off yields bit-identical simulated times (this
+// invariant is tested).
+#pragma once
+
+#include <cstddef>
+#include <chrono>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace irrlu::trace {
+
+/// One kernel launch, as recorded by Device::end_launch.
+struct LaunchRecord {
+  int name_id = -1;   ///< index into Tracer::kernel_names()
+  int scope = -1;     ///< innermost scope at enqueue time, -1 = none
+  int stream = 0;
+  int blocks = 0;
+  std::size_t smem_bytes = 0;
+  double flops = 0;
+  double bytes = 0;
+  double sim_start = 0;     ///< simulated time the first block starts
+  double sim_end = 0;       ///< simulated time the last block finishes
+  double excl_seconds = 0;  ///< exclusive attribution, matches KernelStats
+  double host_issue = 0;    ///< simulated host time the launch was issued
+  double wall_seconds = 0;  ///< real host seconds executing the blocks
+};
+
+/// One host synchronization (synchronize / synchronize_all).
+struct SyncRecord {
+  int stream = -1;  ///< -1 = synchronize_all
+  double host_begin = 0;
+  double host_end = 0;
+};
+
+/// One Event operation on a stream timeline (Device::record / wait).
+struct EventRecord {
+  bool is_wait = false;  ///< false: record(); true: wait()
+  int stream = 0;
+  double time = 0;  ///< event time (record) / cursor after the wait (wait)
+};
+
+/// A node in the interned scope tree ("factor" / "level=3" / ...).
+struct ScopeNode {
+  std::string label;
+  int parent = -1;
+  int depth = 0;
+  long entries = 0;         ///< times this scope was entered
+  double wall_seconds = 0;  ///< real host seconds spent inside
+};
+
+/// Collects launch/sync/scope records for one Device. Storage is
+/// reserve-based with a hard cap: once `max_launches` records exist,
+/// further launches are counted as dropped instead of recorded, so a
+/// runaway run degrades the trace rather than memory.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t reserve_launches = std::size_t{1} << 14,
+                  std::size_t max_launches = std::size_t{1} << 22);
+
+  // --- recording (called by Device and TraceScope) -----------------------
+  int intern_kernel(const char* name);
+  void on_launch(const LaunchRecord& r);
+  void on_sync(int stream, double host_begin, double host_end);
+  void on_event(bool is_wait, int stream, double time);
+  int push_scope(std::string_view label);
+  void pop_scope(double wall_seconds);
+
+  // --- inspection --------------------------------------------------------
+  int current_scope() const { return current_scope_; }
+  const std::vector<LaunchRecord>& launches() const { return launches_; }
+  const std::vector<SyncRecord>& syncs() const { return syncs_; }
+  const std::vector<EventRecord>& events() const { return events_; }
+  const std::vector<ScopeNode>& scopes() const { return scope_nodes_; }
+  const std::vector<std::string>& kernel_names() const { return names_; }
+  const std::string& kernel_name(int id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+  /// Full "a/b/c" path of a scope node (empty for id < 0).
+  std::string scope_path(int id) const;
+  /// True if `id` is `ancestor` or a descendant of it.
+  bool scope_within(int id, int ancestor) const;
+  long dropped_launches() const { return dropped_; }
+  int max_stream_seen() const { return max_stream_; }
+
+  void clear();
+
+ private:
+  std::vector<LaunchRecord> launches_;
+  std::vector<SyncRecord> syncs_;
+  std::vector<EventRecord> events_;
+  std::size_t max_launches_;
+  long dropped_ = 0;
+  int max_stream_ = 0;
+
+  std::vector<std::string> names_;
+  std::map<std::string, int> name_ids_;
+
+  std::vector<ScopeNode> scope_nodes_;
+  std::map<std::pair<int, std::string>, int> scope_ids_;  ///< (parent, label)
+  std::vector<int> scope_stack_;
+  int current_scope_ = -1;
+};
+
+/// RAII scope annotation. A null tracer makes every member a no-op, so
+/// instrumented code paths cost one branch when tracing is off.
+class TraceScope {
+ public:
+  TraceScope(Tracer* t, std::string_view label) : t_(t) {
+    if (t_) {
+      t_->push_scope(label);
+      wall0_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~TraceScope() {
+    if (t_)
+      t_->pop_scope(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall0_)
+                        .count());
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* t_;
+  std::chrono::steady_clock::time_point wall0_;
+};
+
+#define IRRLU_TRACE_CONCAT_INNER(a, b) a##b
+#define IRRLU_TRACE_CONCAT(a, b) IRRLU_TRACE_CONCAT_INNER(a, b)
+/// Opens a scope for the rest of the enclosing block:
+///   IRRLU_TRACE_SCOPE(dev.tracer(), "panel");
+#define IRRLU_TRACE_SCOPE(tracer, label)                 \
+  ::irrlu::trace::TraceScope IRRLU_TRACE_CONCAT(         \
+      irrlu_trace_scope_, __LINE__)((tracer), (label))
+
+}  // namespace irrlu::trace
