@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   };
 
   TextTable table({"solver", "device", "factor (s)", "launches", "syncs",
-                   "sync wait (s)", "residual"});
+                   "sync wait (s)", "berr", "steps", "status", "growth"});
   double t_batched_a100 = 0;
   std::vector<double> b(static_cast<std::size_t>(sys.a.rows()), 0.0);
   for (std::size_t i = 0; i < b.size(); ++i) b[i] = sys.b[i];
@@ -64,8 +64,7 @@ int main(int argc, char** argv) {
     sparse::SparseDirectSolver solver(opts);
     solver.analyze(sys.a);
     solver.factor(dev);
-    const auto x = solver.solve(b);
-    const double res = solver.residual(x, b);
+    const auto rep = solver.solve_report(b);
     const auto& num = solver.numeric();
     if (cfg.engine == sparse::Engine::kBatched &&
         std::string(cfg.device) == "a100")
@@ -74,7 +73,9 @@ int main(int argc, char** argv) {
                   TextTable::fmt(num.factor_seconds(), 4),
                   num.launch_count(), num.sync_count(),
                   TextTable::fmt(num.sync_wait_seconds(), 4),
-                  TextTable::sci(res));
+                  TextTable::sci(rep.berr), rep.refine_steps,
+                  sparse::to_string(rep.status),
+                  TextTable::fmt(num.report().pivot_growth, 2));
   }
   table.print();
   std::printf(

@@ -73,11 +73,11 @@ void irr_getrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
       if (fused) {
         irr_getf2_fused(dev, stream, m - j, jb, dA_array, ldda, Ai + j,
                         Aj + j, m_vec, n_vec, ipiv_array, info_array,
-                        batch_size);
+                        batch_size, opts.boost);
       } else {
         irr_panel_columnwise(dev, stream, m - j, jb, dA_array, ldda, Ai + j,
                              Aj + j, m_vec, n_vec, ipiv_array, info_array,
-                             batch_size);
+                             batch_size, opts.boost);
       }
     }
 

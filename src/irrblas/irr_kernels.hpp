@@ -53,6 +53,28 @@ void irr_trsm(gpusim::Device& dev, gpusim::Stream& stream, la::Side side,
 
 // ------------------------------------------------------ panel decomposition
 
+/// Small-pivot recovery (SuperLU-style static boosting) for the panel
+/// kernels. When active, a pivot whose magnitude falls below
+/// `tau * anorm_vec[id]` — a per-matrix threshold, so one ill-conditioned
+/// problem never perturbs its batch siblings — is replaced by a signed
+/// perturbation of that magnitude and elimination continues with finite
+/// multipliers; `boost_vec[id]` (when non-null) counts the replacements.
+/// `info` keeps its LAPACK meaning (first *exactly*-zero pivot column)
+/// regardless of boosting, so singularity stays visible. Inactive (the
+/// default: tau == 0 or anorm_vec == nullptr) the kernels are bit-for-bit
+/// the unboosted ones.
+struct PivotBoost {
+  double tau = 0.0;  ///< relative threshold; <= 0 disables boosting
+  /// Device array, one entry per matrix: the max-magnitude norm of the
+  /// matrix (or front) *before* factorization. nullptr disables boosting.
+  const double* anorm_vec = nullptr;
+  /// Optional device array, one entry per matrix: incremented once per
+  /// boosted pivot. Caller must zero-initialize.
+  int* boost_vec = nullptr;
+
+  bool active() const { return tau > 0.0 && anorm_vec != nullptr; }
+};
+
 /// Shared-memory footprint of the fused panel kernel for a panel of
 /// (required) height m and width jb: the staged panel plus pivot space,
 /// with alignment slack. Used both by the kernel's launch configuration
@@ -76,7 +98,8 @@ template <typename T>
 void irr_getf2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m,
                      int jb, T* const* dA_array, const int* ldda, int Ai,
                      int Aj, const int* m_vec, const int* n_vec,
-                     int* const* ipiv_array, int* info_array, int batch_size);
+                     int* const* ipiv_array, int* info_array, int batch_size,
+                     const PivotBoost& boost = {});
 
 /// Column-wise panel path (the fallback when the panel exceeds shared
 /// memory): for each of the jb columns, launches the four §IV-E kernels —
@@ -88,7 +111,7 @@ void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
                           int jb, T* const* dA_array, const int* ldda, int Ai,
                           int Aj, const int* m_vec, const int* n_vec,
                           int* const* ipiv_array, int* info_array,
-                          int batch_size);
+                          int batch_size, const PivotBoost& boost = {});
 
 // ---------------------------------------------------------------- irrLASWP
 
@@ -161,6 +184,10 @@ struct IrrLuOptions {
   /// irr_laswp_workspace_size(batch_size, nb) ints.
   int* kmin_workspace = nullptr;
   int* laswp_workspace = nullptr;
+
+  /// Small-pivot recovery passed through to the panel kernels (inactive by
+  /// default; see PivotBoost).
+  PivotBoost boost;
 };
 
 /// irrLU-GPU (§IV): blocked LU with partial pivoting on a batch of

@@ -47,10 +47,11 @@ void irr_getf2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m,
                      int jb, T* const* dA_array, const int* ldda, int Ai,
                      int Aj, const int* m_vec, const int* n_vec,
                      int* const* ipiv_array, int* info_array,
-                     int batch_size) {
+                     int batch_size, const PivotBoost& boost) {
   if (batch_size <= 0 || m <= 0 || jb <= 0) return;
   const gpusim::LaunchConfig cfg{"irr_getf2_fused", batch_size,
                                  irr_getf2_smem_bytes<T>(m, jb)};
+  const PivotBoost bst = boost;  // capture by value: kernels are async
 
   dev.launch(stream, cfg, [=](gpusim::BlockCtx& ctx) {
     const int id = ctx.block();
@@ -65,7 +66,9 @@ void irr_getf2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m,
     // panel's shared-memory footprint, so occupancy and simulated time
     // are unchanged.
     int* spiv = ctx.smem_alloc<int>(static_cast<std::size_t>(w.cols));
-    const int info = la::getf2(w.rows, w.cols, A, lda, spiv);
+    const double thr = bst.active() ? bst.tau * bst.anorm_vec[id] : 0.0;
+    int* nboost = bst.boost_vec != nullptr ? &bst.boost_vec[id] : nullptr;
+    const int info = la::getf2(w.rows, w.cols, A, lda, spiv, thr, nboost);
     if (info != 0 && info_array[id] == 0) info_array[id] = Aj + info;
 
     // Publish absolute pivot rows.
@@ -82,10 +85,11 @@ void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
                           int jb, T* const* dA_array, const int* ldda, int Ai,
                           int Aj, const int* m_vec, const int* n_vec,
                           int* const* ipiv_array, int* info_array,
-                          int batch_size) {
+                          int batch_size, const PivotBoost& boost) {
   if (batch_size <= 0 || m <= 0 || jb <= 0) return;
   // Strided row access wastes a cache line per element (column-major).
   const double row_penalty = 64.0 / sizeof(T);
+  const PivotBoost bst = boost;  // capture by value: kernels are async
 
   for (int c = 0; c < jb; ++c) {
     // (1) irrIAMAX: pivot search in the current subcolumn.
@@ -127,6 +131,17 @@ void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
       if (w.none() || c >= w.kpiv()) return;
       const int lda = ldda[id];
       T* col = dA_array[id] + static_cast<std::ptrdiff_t>(Aj + c) * lda + Ai;
+      // Small-pivot recovery: the pivot sits on the diagonal after
+      // irr_swap; boost it in place so the scaling below (and all later
+      // columns reading this entry as part of U) see the perturbed value.
+      // The exact-zero info was already recorded by irr_iamax.
+      if (bst.active()) {
+        const double thr = bst.tau * bst.anorm_vec[id];
+        if (std::abs(col[c]) < thr) {
+          col[c] = la::boosted_pivot(col[c], thr);
+          if (bst.boost_vec != nullptr) ++bst.boost_vec[id];
+        }
+      }
       const T piv = col[c];
       if (piv != T{} && c + 1 < w.rows)
         la::scal(w.rows - c - 1, T(1) / piv, col + c + 1, 1);
@@ -157,11 +172,12 @@ void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
   template void irr_getf2_fused<T>(gpusim::Device&, gpusim::Stream&, int,    \
                                    int, T* const*, const int*, int, int,     \
                                    const int*, const int*, int* const*,      \
-                                   int*, int);                               \
+                                   int*, int, const PivotBoost&);            \
   template void irr_panel_columnwise<T>(gpusim::Device&, gpusim::Stream&,    \
                                         int, int, T* const*, const int*,     \
                                         int, int, const int*, const int*,    \
-                                        int* const*, int*, int);
+                                        int* const*, int*, int,              \
+                                        const PivotBoost&);
 
 IRRLU_INSTANTIATE_PANEL(float)
 IRRLU_INSTANTIATE_PANEL(double)

@@ -9,13 +9,19 @@
 namespace irrlu::la {
 
 template <typename T>
-int getf2(int m, int n, T* a, int lda, int* ipiv) {
+int getf2(int m, int n, T* a, int lda, int* ipiv, double boost_threshold,
+          int* boosted) {
   int info = 0;
   const int kmin = std::min(m, n);
   for (int j = 0; j < kmin; ++j) {
     T* colj = a + static_cast<std::ptrdiff_t>(j) * lda;
     const int p = j + iamax(m - j, colj + j, 1);
     ipiv[j] = p;
+    if (colj[p] == T{} && info == 0) info = j + 1;
+    if (boost_threshold > 0.0 && std::abs(colj[p]) < boost_threshold) {
+      colj[p] = boosted_pivot(colj[p], boost_threshold);
+      if (boosted != nullptr) ++*boosted;
+    }
     if (colj[p] != T{}) {
       if (p != j)
         swap(n, a + j, lda, a + p, lda);
@@ -23,8 +29,6 @@ int getf2(int m, int n, T* a, int lda, int* ipiv) {
         const T inv = T(1) / colj[j];
         scal(m - 1 - j, inv, colj + j + 1, 1);
       }
-    } else if (info == 0) {
-      info = j + 1;
     }
     if (j < kmin) {
       // Trailing rank-1 update.
@@ -34,6 +38,11 @@ int getf2(int m, int n, T* a, int lda, int* ipiv) {
     }
   }
   return info;
+}
+
+template <typename T>
+int getf2(int m, int n, T* a, int lda, int* ipiv) {
+  return getf2(m, n, a, lda, ipiv, 0.0, nullptr);
 }
 
 template <typename T>
@@ -154,6 +163,7 @@ int trtri(Uplo uplo, Diag diag, int n, T* a, int lda) {
 
 #define IRRLU_INSTANTIATE_LAPACK(T)                                       \
   template int getf2<T>(int, int, T*, int, int*);                         \
+  template int getf2<T>(int, int, T*, int, int*, double, int*);           \
   template int getrf<T>(int, int, T*, int, int*, int);                    \
   template void laswp<T>(int, T*, int, int, int, const int*, bool);       \
   template void getrs<T>(Trans, int, int, const T*, int, const int*, T*,  \

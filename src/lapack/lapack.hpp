@@ -3,6 +3,9 @@
 // solve, and triangular inversion. Column-major, 0-based pivot indices.
 #pragma once
 
+#include <cmath>
+#include <complex>
+
 #include "lapack/blas.hpp"
 #include "lapack/types.hpp"
 
@@ -16,6 +19,28 @@ namespace irrlu::la {
 /// factorization proceeds; the factor is singular, as in LAPACK).
 template <typename T>
 int getf2(int m, int n, T* a, int lda, int* ipiv);
+
+/// The signed replacement value for a too-small pivot (SuperLU-style
+/// static boosting): magnitude `threshold`, direction of the original
+/// pivot (+threshold for an exact zero). Works for real and complex T.
+template <typename T>
+T boosted_pivot(T piv, double threshold) {
+  const double mag = std::abs(piv);
+  if (mag == 0.0) return T(threshold);
+  return piv * T(threshold / mag);
+}
+
+/// getf2 with small-pivot recovery: after the pivot search, a pivot with
+/// magnitude below `boost_threshold` is replaced by
+/// boosted_pivot(pivot, boost_threshold) and `*boosted` (when non-null) is
+/// incremented, so elimination continues with finite multipliers. The
+/// return value keeps the LAPACK meaning — (j + 1) of the first column
+/// whose pivot was *exactly* zero — so singularity stays visible even when
+/// every zero pivot was boosted. boost_threshold <= 0 reproduces plain
+/// getf2 bit for bit.
+template <typename T>
+int getf2(int m, int n, T* a, int lda, int* ipiv, double boost_threshold,
+          int* boosted);
 
 /// Blocked LU with partial pivoting (panel width nb). Same contract as
 /// getf2; default nb matches the batched code's panel width.

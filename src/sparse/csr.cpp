@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <tuple>
 
@@ -38,6 +39,15 @@ void CsrMatrix::multiply(const double* x, double* y) const {
   }
 }
 
+void CsrMatrix::multiply_transpose(const double* x, double* y) const {
+  for (int j = 0; j < n_; ++j) y[j] = 0;
+  for (int i = 0; i < n_; ++i)
+    for (int k = ptr_[static_cast<std::size_t>(i)];
+         k < ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+      y[ind_[static_cast<std::size_t>(k)]] +=
+          val_[static_cast<std::size_t>(k)] * x[i];
+}
+
 double CsrMatrix::norm_inf() const {
   double best = 0;
   for (int i = 0; i < n_; ++i) {
@@ -64,6 +74,38 @@ double CsrMatrix::residual(const double* x, const double* b) const {
   }
   const double denom = norm_inf() * xmax + bmax;
   return denom > 0 ? rmax / denom : rmax;
+}
+
+double CsrMatrix::componentwise_residual(const double* x,
+                                         const double* b) const {
+  double berr = 0;
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0, absacc = 0;
+    for (int k = ptr_[static_cast<std::size_t>(i)];
+         k < ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const double axk = val_[static_cast<std::size_t>(k)] *
+                         x[ind_[static_cast<std::size_t>(k)]];
+      acc += axk;
+      absacc += std::abs(axk);
+    }
+    const double ri = std::abs(b[i] - acc);
+    const double di = absacc + std::abs(b[i]);
+    const double e = di > 0 ? ri / di : ri;
+    // std::max would silently drop a NaN row (NaN comparisons are false);
+    // a non-finite x MUST surface as a non-finite backward error.
+    if (!std::isfinite(e)) return std::numeric_limits<double>::quiet_NaN();
+    berr = std::max(berr, e);
+  }
+  return berr;
+}
+
+double CsrMatrix::norm_1() const {
+  std::vector<double> colsum(static_cast<std::size_t>(n_), 0.0);
+  for (std::size_t k = 0; k < ind_.size(); ++k)
+    colsum[static_cast<std::size_t>(ind_[k])] += std::abs(val_[k]);
+  double best = 0;
+  for (double s : colsum) best = std::max(best, s);
+  return best;
 }
 
 CsrMatrix CsrMatrix::scaled(const std::vector<double>& dr,

@@ -34,10 +34,25 @@ class CsrMatrix {
   /// y = A x.
   void multiply(const double* x, double* y) const;
 
-  /// Relative residual ||b - A x||_inf / (||A||_inf ||x||_inf + ||b||_inf).
+  /// y = A^T x.
+  void multiply_transpose(const double* x, double* y) const;
+
+  /// Normwise relative residual
+  /// ||b - A x||_inf / (||A||_inf ||x||_inf + ||b||_inf).
   double residual(const double* x, const double* b) const;
 
+  /// Componentwise (Oettli–Prager) backward error
+  /// max_i |b - A x|_i / (|A| |x| + |b|)_i, rows with a zero denominator
+  /// contributing |r_i| directly. For finite x this is <= 1, so a
+  /// non-finite return value certifies that x itself contains NaN/Inf.
+  /// The quantity adaptive iterative refinement drives to ~machine eps.
+  double componentwise_residual(const double* x, const double* b) const;
+
   double norm_inf() const;
+
+  /// ||A||_1 = max_j sum_i |a_ij| (the norm the Hager condition estimate
+  /// pairs with).
+  double norm_1() const;
 
   /// Returns Dr * A * Dc (diagonal scalings).
   CsrMatrix scaled(const std::vector<double>& dr,

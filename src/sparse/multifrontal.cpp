@@ -1,6 +1,8 @@
 #include "sparse/multifrontal.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -96,6 +98,13 @@ struct FrontGroup {
   gpusim::DeviceBuffer<int> ld, svec, uvec;
   gpusim::DeviceBuffer<int*> ipiv;
   gpusim::DeviceBuffer<int> info;
+  /// Robustness diagnostics (filled only when pivot_tau > 0): pre-factor
+  /// max-magnitude front norm (the boost reference), boosted-pivot count,
+  /// and post-factor max magnitude (for the growth estimate). Host-zeroed
+  /// here because fronts skipped by a kernel's DCWI early return must read
+  /// as "no events", not as uninitialized device memory.
+  gpusim::DeviceBuffer<double> anorm, gmax;
+  gpusim::DeviceBuffer<int> boost;
 
   FrontGroup(gpusim::Device& dev, const SymbolicAnalysis& sym,
              const std::vector<int>& group_ids, const FrontStorage& storage,
@@ -112,6 +121,14 @@ struct FrontGroup {
     uvec = dev.alloc<int>(n);
     ipiv = dev.alloc<int*>(n);
     info = dev.alloc<int>(n);
+    anorm = dev.alloc<double>(n);
+    gmax = dev.alloc<double>(n);
+    boost = dev.alloc<int>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      anorm[k] = 0.0;
+      gmax[k] = 0.0;
+      boost[k] = 0;
+    }
     for (std::size_t k = 0; k < n; ++k) {
       const Front& fr = sym.fronts[static_cast<std::size_t>(ids[k])];
       double* base = storage.base(ids[k]);
@@ -407,6 +424,31 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
 
   std::vector<std::unique_ptr<FrontGroup>> groups;  // keep alive
 
+  // Max-magnitude entry of each front's full (dim x dim) block, written to
+  // `out` — before factorization it is the per-front boost reference
+  // ||F||_max, after it the numerator of the growth estimate.
+  auto front_absmax = [&](const FrontGroup& g, gpusim::Stream& st,
+                          double* out, const char* name) {
+    double* const* fp = g.f.data();
+    const int* ldp = g.ld.data();
+    const int* sp = g.svec.data();
+    const int* up = g.uvec.data();
+    dev.launch(st, {name, g.count, 0}, [=](gpusim::BlockCtx& ctx) {
+      const int k = ctx.block();
+      const int d = sp[k] + up[k];
+      if (d <= 0) return;
+      const double* F = fp[k];
+      const int ld = ldp[k];
+      double m = 0;
+      for (int c = 0; c < d; ++c)
+        for (int r = 0; r < d; ++r)
+          m = std::max(m, std::abs(F[static_cast<std::ptrdiff_t>(c) * ld +
+                                     r]));
+      out[k] = m;
+      ctx.record(0.0, static_cast<double>(d) * d * sizeof(double));
+    });
+  };
+
   // Factors one group of fronts as a single irregular batch on the given
   // stream.
   auto factor_group_on = [&](const FrontGroup& g, gpusim::Stream& stream,
@@ -414,9 +456,16 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     if (g.count == 0 || g.smax == 0) return;
     IRRLU_TRACE_SCOPE(dev.tracer(),
                       dev.tracer() ? front_class(g.ids, sym) : "");
+    batch::IrrLuOptions lu = lu_opts;
+    if (opts.pivot_tau > 0) {
+      front_absmax(g, stream, g.anorm.data(), "mf_front_norm");
+      lu.boost.tau = opts.pivot_tau;
+      lu.boost.anorm_vec = g.anorm.data();
+      lu.boost.boost_vec = g.boost.data();
+    }
     batch::irr_getrf<double>(dev, stream, g.smax, g.smax, g.f.data(),
                              g.ld.data(), 0, 0, g.svec.data(), g.svec.data(),
-                             g.ipiv.data(), g.info.data(), g.count, lu_opts);
+                             g.ipiv.data(), g.info.data(), g.count, lu);
     if (g.umax > 0) {
       batch::irr_laswp_range<double>(
           dev, stream, 0, g.smax, g.umax, g.f12.data(), g.ld.data(), 0,
@@ -441,6 +490,9 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
           0, 0, 1.0, g.f22.data(), g.ld.data(), 0, 0, g.uvec.data(),
           g.uvec.data(), g.svec.data(), g.count);
     }
+    // Post-elimination extremum: gmax / anorm is the per-front growth.
+    if (opts.pivot_tau > 0)
+      front_absmax(g, stream, g.gmax.data(), "mf_front_growth");
   };
 
   auto factor_group = [&](const FrontGroup& g) {
@@ -572,10 +624,31 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   sync_wait_ = dev.sync_wait_seconds() - w0;
   peak_bytes_ = dev.peak_bytes() - peak0 + factor_bytes();
 
-  // Zero-pivot reports land in whichever group factored the front.
+  // Zero-pivot reports land in whichever group factored the front; the
+  // same sweep harvests the robustness diagnostics (device buffers are
+  // plain host memory in the simulator, valid after synchronize_all).
+  report_.fronts = static_cast<int>(nf);
   for (const auto& g : groups)
-    for (int k = 0; k < g->count; ++k)
-      if (g->info[static_cast<std::size_t>(k)] != 0) ok_ = false;
+    for (int k = 0; k < g->count; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      if (g->info[ks] != 0) {
+        ok_ = false;
+        ++report_.zero_pivot_fronts;
+      }
+      report_.boosted_pivots += g->boost[ks];
+      if (g->anorm[ks] > 0 && g->gmax[ks] > 0)
+        report_.pivot_growth =
+            std::max(report_.pivot_growth, g->gmax[ks] / g->anorm[ks]);
+    }
+  n_ = a_perm.rows();
+  anorm1_ = a_perm.norm_1();
+  if (auto* tr = dev.tracer()) {
+    tr->add_counter("factor.boosted_pivots",
+                    static_cast<double>(report_.boosted_pivots));
+    tr->add_counter("factor.zero_pivot_fronts",
+                    static_cast<double>(report_.zero_pivot_fronts));
+    tr->max_counter("factor.pivot_growth_max", report_.pivot_growth);
+  }
 }
 
 void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
@@ -733,6 +806,117 @@ void MultifrontalFactor::solve(std::vector<double>& x) const {
       x[static_cast<std::size_t>(fr.sep_begin + r)] =
           xs[static_cast<std::size_t>(r)];
   }
+}
+
+void MultifrontalFactor::solve_transpose(std::vector<double>& x) const {
+  // solve() applies M = B_0 ... B_{N-1} F_{N-1} ... F_0 where F_i is front
+  // i's forward step (pivot, L11 trsv, update-row gemv) and B_i its
+  // backward step. The transpose applies F_0^T ... F_{N-1}^T then
+  // B_{N-1}^T ... B_0^T, so each sweep runs in the opposite tree order
+  // with the transposed triangular blocks.
+  const auto nf = sym_.fronts.size();
+  std::vector<double> xs, xu;
+  // B_i^T in postorder: xs <- U11^{-T} xs; x[upd] -= U12^T xs.
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    const Front& fr = sym_.fronts[fi];
+    const int s = fr.s(), u = fr.u();
+    if (s == 0) continue;
+    const double* F11 = f11(static_cast<int>(fi));
+    const double* U12 = u12(static_cast<int>(fi));
+    xs.assign(static_cast<std::size_t>(s), 0.0);
+    for (int r = 0; r < s; ++r)
+      xs[static_cast<std::size_t>(r)] =
+          x[static_cast<std::size_t>(fr.sep_begin + r)];
+    la::trsv(la::Uplo::Upper, la::Trans::Yes, la::Diag::NonUnit, s, F11, s,
+             xs.data(), 1);
+    for (int k = 0; k < u; ++k) {
+      double acc = 0;
+      for (int r = 0; r < s; ++r)
+        acc += U12[static_cast<std::ptrdiff_t>(k) * s + r] *
+               xs[static_cast<std::size_t>(r)];
+      x[static_cast<std::size_t>(fr.upd[static_cast<std::size_t>(k)])] -= acc;
+    }
+    for (int r = 0; r < s; ++r)
+      x[static_cast<std::size_t>(fr.sep_begin + r)] =
+          xs[static_cast<std::size_t>(r)];
+  }
+  // F_i^T in reverse postorder: xs <- P^T L11^{-T} (xs - L21^T x[upd]).
+  for (std::size_t fi = nf; fi-- > 0;) {
+    const Front& fr = sym_.fronts[fi];
+    const int s = fr.s(), u = fr.u();
+    if (s == 0) continue;
+    const double* F11 = f11(static_cast<int>(fi));
+    const double* L21 = l21(static_cast<int>(fi));
+    xs.assign(static_cast<std::size_t>(s), 0.0);
+    for (int r = 0; r < s; ++r)
+      xs[static_cast<std::size_t>(r)] =
+          x[static_cast<std::size_t>(fr.sep_begin + r)];
+    if (u > 0) {
+      xu.assign(static_cast<std::size_t>(u), 0.0);
+      for (int k = 0; k < u; ++k)
+        xu[static_cast<std::size_t>(k)] =
+            x[static_cast<std::size_t>(fr.upd[static_cast<std::size_t>(k)])];
+      // xs -= L21^T xu (L21 is u x s, leading dimension u).
+      la::gemv(la::Trans::Yes, u, s, -1.0, L21, u, xu.data(), 1, 1.0,
+               xs.data(), 1);
+    }
+    la::trsv(la::Uplo::Lower, la::Trans::Yes, la::Diag::Unit, s, F11, s,
+             xs.data(), 1);
+    const int* piv = front_ipiv(static_cast<int>(fi));
+    for (int r = s; r-- > 0;)
+      if (piv[r] != r)
+        std::swap(xs[static_cast<std::size_t>(r)],
+                  xs[static_cast<std::size_t>(piv[r])]);
+    for (int r = 0; r < s; ++r)
+      x[static_cast<std::size_t>(fr.sep_begin + r)] =
+          xs[static_cast<std::size_t>(r)];
+  }
+}
+
+double MultifrontalFactor::condest_1() const {
+  if (condest_ >= 0) return condest_;
+  if (n_ == 0) return condest_ = 0.0;
+  const auto nz = static_cast<std::size_t>(n_);
+  auto finite = [](const std::vector<double>& v) {
+    for (double e : v)
+      if (!std::isfinite(e)) return false;
+    return true;
+  };
+  // Hager's algorithm estimating ||A_prep^{-1}||_1: maximize ||A^{-1}x||_1
+  // over the unit 1-norm ball by alternating a solve with A and one with
+  // A^T (the gradient step), hopping between unit-vector vertices.
+  std::vector<double> x(nz, 1.0 / n_), y, z;
+  double est = 0;
+  int last_j = -1;
+  for (int iter = 0; iter < 5; ++iter) {
+    y = x;
+    solve(y);  // y = A^{-1} x
+    if (!finite(y))
+      return condest_ = std::numeric_limits<double>::infinity();
+    double e = 0;
+    for (double v : y) e += std::abs(v);
+    if (iter > 0 && e <= est) break;  // estimate stopped improving
+    est = e;
+    z.assign(nz, 0.0);
+    for (std::size_t i = 0; i < nz; ++i) z[i] = y[i] >= 0 ? 1.0 : -1.0;
+    solve_transpose(z);  // z = A^{-T} sign(y)
+    if (!finite(z))
+      return condest_ = std::numeric_limits<double>::infinity();
+    int j = 0;
+    double zmax = 0, ztx = 0;
+    for (std::size_t i = 0; i < nz; ++i) {
+      ztx += z[i] * x[i];
+      if (std::abs(z[i]) > zmax) {
+        zmax = std::abs(z[i]);
+        j = static_cast<int>(i);
+      }
+    }
+    if (zmax <= ztx || j == last_j) break;  // at a local maximum
+    last_j = j;
+    x.assign(nz, 0.0);
+    x[static_cast<std::size_t>(j)] = 1.0;
+  }
+  return condest_ = anorm1_ * est;
 }
 
 }  // namespace irrlu::sparse

@@ -57,6 +57,28 @@ struct FactorOptions {
   /// exceeds this threshold run their Schur GEMM as dedicated per-front
   /// launches ("cuBLAS GEMM in a loop for sizes > 256"). 0 disables.
   int hybrid_gemm_threshold = 256;
+  /// Small-pivot recovery threshold: during the panel factorization a pivot
+  /// with magnitude below pivot_tau * ||F||_max (per front, where ||F||_max
+  /// is the max-magnitude entry of the assembled front *before*
+  /// elimination) is replaced by a signed perturbation of that magnitude
+  /// (SuperLU-style boosting), so one degenerate front never poisons its
+  /// batch siblings with NaN/Inf. Boost counts and pivot growth are
+  /// reported through FactorReport. <= 0 disables recovery (and the norm /
+  /// growth launches) entirely.
+  double pivot_tau = 1e-10;
+};
+
+/// Per-factorization numerical diagnostics (tentpole of the robustness
+/// layer): filled during the constructor, with the condition estimate
+/// computed lazily on first request.
+struct FactorReport {
+  int fronts = 0;             ///< fronts factored
+  long boosted_pivots = 0;    ///< pivots replaced by the boost rule
+  int zero_pivot_fronts = 0;  ///< fronts with an *exactly* zero pivot
+  /// max over fronts of ||F after factorization||_max / ||F before||_max —
+  /// a cheap element-growth proxy; large values flag unstable elimination.
+  /// 0 when pivot_tau disabled the diagnostics.
+  double pivot_growth = 0;
 };
 
 /// Owns the factored fronts (compact device storage) and performs solves.
@@ -81,6 +103,12 @@ class MultifrontalFactor {
   /// child-before-parent ordering.
   void solve_batched(std::vector<double>& x) const;
 
+  /// Solves (L U)^T x = b in the permuted space, overwriting x: the
+  /// transpose of solve(), obtained by transposing every per-front
+  /// elimination step and reversing the two sweeps. Host-side; needed by
+  /// the Hager condition estimator.
+  void solve_transpose(std::vector<double>& x) const;
+
   /// Simulated device seconds spent in the numeric factorization.
   double factor_seconds() const { return factor_seconds_; }
   long launch_count() const { return launches_; }
@@ -91,8 +119,19 @@ class MultifrontalFactor {
   std::size_t peak_device_bytes() const { return peak_bytes_; }
   /// Bytes retained after factorization (the compact factors + pivots).
   std::size_t factor_bytes() const;
-  /// True when every front factored without a zero pivot.
+  /// True when every front factored without a zero pivot. Boosted (small
+  /// but nonzero) pivots do not clear this flag — only exact zeros do, the
+  /// LAPACK `info` convention.
   bool numerically_ok() const { return ok_; }
+
+  /// Numerical diagnostics collected during factorization.
+  const FactorReport& report() const { return report_; }
+
+  /// Hager/Higham 1-norm condition estimate of the factored (prepared)
+  /// matrix: ||A_prep||_1 * est(||A_prep^{-1}||_1), the latter from a few
+  /// solve()/solve_transpose() pairs. Computed on first call, then cached.
+  /// Returns +inf when a solve produces non-finite entries.
+  double condest_1() const;
 
  private:
   gpusim::Device& dev_;
@@ -109,6 +148,10 @@ class MultifrontalFactor {
   double sync_wait_ = 0;
   std::size_t peak_bytes_ = 0;
   bool ok_ = true;
+  FactorReport report_;
+  int n_ = 0;                      ///< order of the factored matrix
+  double anorm1_ = 0;              ///< ||A_prep||_1, for condest_1()
+  mutable double condest_ = -1.0;  ///< cached condest_1(), -1 = not yet
 
   // Compact factor blocks of front f: L11\U11 (s x s), then U12 (s x u,
   // ld s), then L21 (u x s, ld u).

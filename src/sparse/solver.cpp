@@ -1,28 +1,43 @@
 #include "sparse/solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "ordering/graph.hpp"
 
 namespace irrlu::sparse {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kDegraded: return "degraded";
+    case SolveStatus::kFailed: return "failed";
+  }
+  return "?";
+}
 
 void SparseDirectSolver::analyze(const CsrMatrix& a) {
   IRRLU_CHECK(a.rows() > 0);
   a_ = a;
   const int n = a.rows();
 
+  // The structural-singularity fallback is per-factorization state: it
+  // must NOT be written back into opts_, or a later analyze() on a
+  // healthy matrix through the same solver object would silently skip
+  // MC64 scaling.
+  mc64_active_ = false;
   CsrMatrix aq = a;
   if (opts_.use_mc64) {
     mc64_ = ordering::mc64_scaling(n, a.ptr().data(), a.ind().data(),
                                    a.val().data());
     if (mc64_.structurally_nonsingular) {
       aq = a.scaled(mc64_.dr, mc64_.dc).permute_columns(mc64_.col_of_row);
-    } else {
-      opts_.use_mc64 = false;  // fall back to the unscaled path
+      mc64_active_ = true;
     }
   }
-  if (!opts_.use_mc64) {
+  if (!mc64_active_) {
     mc64_.col_of_row.resize(static_cast<std::size_t>(n));
     std::iota(mc64_.col_of_row.begin(), mc64_.col_of_row.end(), 0);
     mc64_.dr.assign(static_cast<std::size_t>(n), 1.0);
@@ -79,9 +94,9 @@ void SparseDirectSolver::refactor(gpusim::Device& dev,
       std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_, opts_.factor);
 }
 
-std::vector<double> SparseDirectSolver::solve(
+SolveReport SparseDirectSolver::solve_report(
     const std::vector<double>& b) const {
-  IRRLU_CHECK_MSG(factor_ != nullptr, "solve() requires factor()");
+  IRRLU_CHECK_MSG(factor_ != nullptr, "solve_report() requires factor()");
   const int n = a_.rows();
   IRRLU_CHECK(static_cast<int>(b.size()) == n);
 
@@ -109,9 +124,30 @@ std::vector<double> SparseDirectSolver::solve(
     return x;
   };
 
+  SolveReport rep;
   std::vector<double> x = solve_once(b);
-  for (int step = 0; step < opts_.refine_steps; ++step) {
-    std::vector<double> r(static_cast<std::size_t>(n));
+  double berr = a_.componentwise_residual(x.data(), b.data());
+  rep.berr_history.push_back(berr);
+  if (!std::isfinite(berr)) {
+    // The factorization produced NaN/Inf (e.g. an un-boosted zero pivot):
+    // refinement cannot repair that — report a clean structured failure.
+    rep.x = std::move(x);
+    rep.berr = berr;
+    rep.status = SolveStatus::kFailed;
+    return rep;
+  }
+
+  // Adaptive refinement: iterate while the componentwise backward error is
+  // above tolerance, keeping the best iterate seen. Stop on the cap, on
+  // divergence (berr did not decrease — roll back to the best iterate), or
+  // on stagnation (decrease by less than 2x, Higham's rule: further sweeps
+  // would only dither around the attainable accuracy).
+  std::vector<double> best = x;
+  double best_berr = berr;
+  const double tol = std::max(opts_.refine_tolerance, 0.0);
+  std::vector<double> r(static_cast<std::size_t>(n));
+  int steps = 0;
+  while (berr > tol && steps < opts_.max_refine_steps) {
     a_.multiply(x.data(), r.data());
     for (int i = 0; i < n; ++i)
       r[static_cast<std::size_t>(i)] =
@@ -119,8 +155,37 @@ std::vector<double> SparseDirectSolver::solve(
     const std::vector<double> dx = solve_once(r);
     for (int i = 0; i < n; ++i)
       x[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
+    ++steps;
+    const double next = a_.componentwise_residual(x.data(), b.data());
+    rep.berr_history.push_back(next);
+    if (!std::isfinite(next) || next >= berr) break;  // diverged
+    const bool stagnated = next > 0.5 * berr;
+    berr = next;
+    if (next < best_berr) {
+      best_berr = next;
+      best = x;
+    }
+    if (stagnated) break;
   }
-  return x;
+
+  rep.refine_steps = steps;
+  rep.x = std::move(best);
+  rep.berr = best_berr;
+  rep.status = best_berr <= tol ? SolveStatus::kConverged
+                                : SolveStatus::kDegraded;
+  return rep;
+}
+
+std::vector<double> SparseDirectSolver::solve(
+    const std::vector<double>& b) const {
+  SolveReport rep = solve_report(b);
+  IRRLU_CHECK_MSG(
+      rep.status != SolveStatus::kFailed,
+      "solve(): numerically unusable factorization (solution contains "
+      "NaN/Inf; numerically_ok()="
+          << (factor_ != nullptr && factor_->numerically_ok())
+          << ") — use solve_report() for a non-throwing structured result");
+  return std::move(rep.x);
 }
 
 std::vector<std::vector<double>> SparseDirectSolver::solve(
@@ -134,6 +199,11 @@ std::vector<std::vector<double>> SparseDirectSolver::solve(
 double SparseDirectSolver::residual(const std::vector<double>& x,
                                     const std::vector<double>& b) const {
   return a_.residual(x.data(), b.data());
+}
+
+double SparseDirectSolver::residual_componentwise(
+    const std::vector<double>& x, const std::vector<double>& b) const {
+  return a_.componentwise_residual(x.data(), b.data());
 }
 
 std::vector<LevelStats> SparseDirectSolver::level_stats() const {

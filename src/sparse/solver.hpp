@@ -36,10 +36,43 @@ struct SolverOptions {
   OrderingMethod ordering = OrderingMethod::kNestedDissection;
   ordering::NDOptions nd;
   FactorOptions factor;
-  int refine_steps = 1;  ///< iterative refinement sweeps in solve()
+  /// Cap on adaptive iterative refinement sweeps in solve(): refinement
+  /// stops early once the componentwise backward error reaches
+  /// refine_tolerance, stagnates, or diverges (see SolveReport).
+  int max_refine_steps = 10;
+  /// Componentwise backward-error target of the refinement loop; roughly
+  /// 5x double machine epsilon by default.
+  double refine_tolerance = 1e-15;
   /// Run the triangular solves as level-batched device kernels instead of
   /// the host-side reference sweep.
   bool solve_on_device = false;
+};
+
+/// Outcome classification of solve_report().
+enum class SolveStatus {
+  kConverged,  ///< backward error <= refine_tolerance
+  kDegraded,   ///< refinement stalled or hit the cap above the tolerance;
+               ///< x is the best iterate seen and berr quantifies it
+  kFailed,     ///< factorization unusable: the solution contains NaN/Inf
+               ///< (x is whatever was produced — do not consume it)
+};
+
+const char* to_string(SolveStatus s);
+
+/// Structured result of one solve: the solution plus everything needed to
+/// decide whether to trust it. The componentwise (Oettli–Prager) backward
+/// error is <= 1 for any finite x, so a non-finite `berr` certifies
+/// garbage — that is exactly the kFailed criterion; no silent path.
+struct SolveReport {
+  std::vector<double> x;
+  SolveStatus status = SolveStatus::kFailed;
+  double berr = 0;          ///< componentwise backward error of x
+  int refine_steps = 0;     ///< refinement sweeps actually applied
+  /// Backward error after the initial solve and after every refinement
+  /// sweep (including diverged sweeps that were rolled back).
+  std::vector<double> berr_history;
+
+  bool ok() const { return status == SolveStatus::kConverged; }
 };
 
 /// Per-level workload statistics (the data behind the paper's Figure 13).
@@ -67,8 +100,15 @@ class SparseDirectSolver {
   /// values (the matching itself is not recomputed).
   void refactor(gpusim::Device& dev, const CsrMatrix& a_new);
 
-  /// Phase 3: solves A x = b (original, unpermuted space). Requires
-  /// factor(). Applies `refine_steps` of iterative refinement.
+  /// Phase 3: solves A x = b (original, unpermuted space) with adaptive
+  /// iterative refinement, returning the solution plus its convergence
+  /// diagnostics. Never throws on numerical failure — inspect
+  /// SolveReport::status. Requires factor().
+  SolveReport solve_report(const std::vector<double>& b) const;
+
+  /// Thin legacy wrapper over solve_report(): returns just x, but fails
+  /// fast (throws irrlu::Error) when the report status is kFailed — a
+  /// numerically unusable factorization no longer returns silent garbage.
   std::vector<double> solve(const std::vector<double>& b) const;
 
   /// Solves for several right-hand sides against the same factorization
@@ -77,16 +117,28 @@ class SparseDirectSolver {
   std::vector<std::vector<double>> solve(
       const std::vector<std::vector<double>>& bs) const;
 
-  /// Componentwise relative residual of a solution.
+  /// Normwise relative residual of a solution:
+  /// ||b - A x||_inf / (||A||_inf ||x||_inf + ||b||_inf).
   double residual(const std::vector<double>& x,
                   const std::vector<double>& b) const;
+
+  /// Componentwise (Oettli–Prager) backward error
+  /// max_i |b - A x|_i / (|A| |x| + |b|)_i — the quantity the refinement
+  /// loop drives down and SolveReport::berr records.
+  double residual_componentwise(const std::vector<double>& x,
+                                const std::vector<double>& b) const;
 
   const SymbolicAnalysis& symbolic() const { return sym_; }
   const MultifrontalFactor& numeric() const { return *factor_; }
   std::vector<LevelStats> level_stats() const;
+  /// Whether the last analyze() actually applied MC64 scaling (false when
+  /// disabled by options *or* when MC64 found the matrix structurally
+  /// singular and the pipeline fell back to the unscaled path). User
+  /// options are never mutated by that fallback.
+  bool mc64_active() const { return mc64_active_; }
 
  private:
-  SolverOptions opts_;
+  const SolverOptions opts_;
   CsrMatrix a_;        ///< original matrix
   CsrMatrix a_prep_;   ///< scaled, column-permuted, symmetrically permuted
   ordering::Mc64Result mc64_;
@@ -94,6 +146,7 @@ class SparseDirectSolver {
   SymbolicAnalysis sym_;
   std::unique_ptr<MultifrontalFactor> factor_;
   bool analyzed_ = false;
+  bool mc64_active_ = false;  ///< per-analysis state, not a user option
 };
 
 }  // namespace irrlu::sparse

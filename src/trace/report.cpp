@@ -99,6 +99,13 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
   w.kv("peak_gflops", peak_flops / 1e9, "%.3f");
   w.kv("peak_gbs", model.mem_bandwidth / 1e9, "%.3f");
   w.kv_int("dropped_launches", tracer.dropped_launches());
+  if (!tracer.counters().empty()) {
+    w.key("counters");
+    w.begin_object(/*compact=*/true);
+    for (const auto& [name, value] : tracer.counters())
+      w.kv(name.c_str(), value, "%.12g");
+    w.end_object();
+  }
   w.key("rows");
   w.begin_array();
   for (const auto& [key, a] : aggregate(tracer)) {

@@ -65,6 +65,15 @@ void Tracer::pop_scope(double wall_seconds) {
   current_scope_ = scope_stack_.empty() ? -1 : scope_stack_.back();
 }
 
+void Tracer::add_counter(std::string_view name, double value) {
+  counters_[std::string(name)] += value;
+}
+
+void Tracer::max_counter(std::string_view name, double value) {
+  auto [it, inserted] = counters_.try_emplace(std::string(name), value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
 std::string Tracer::scope_path(int id) const {
   if (id < 0) return {};
   std::vector<const std::string*> parts;
@@ -98,6 +107,7 @@ void Tracer::clear() {
   scope_ids_.clear();
   scope_stack_.clear();
   current_scope_ = -1;
+  counters_.clear();
 }
 
 }  // namespace irrlu::trace

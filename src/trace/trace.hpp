@@ -77,6 +77,12 @@ class Tracer {
   void on_event(bool is_wait, int stream, double time);
   int push_scope(std::string_view label);
   void pop_scope(double wall_seconds);
+  /// Named telemetry counters (e.g. numerical-robustness diagnostics fed
+  /// by the multifrontal factorization). `add_counter` accumulates,
+  /// `max_counter` keeps the running maximum — both create the counter on
+  /// first use.
+  void add_counter(std::string_view name, double value);
+  void max_counter(std::string_view name, double value);
 
   // --- inspection --------------------------------------------------------
   int current_scope() const { return current_scope_; }
@@ -94,6 +100,7 @@ class Tracer {
   bool scope_within(int id, int ancestor) const;
   long dropped_launches() const { return dropped_; }
   int max_stream_seen() const { return max_stream_; }
+  const std::map<std::string, double>& counters() const { return counters_; }
 
   void clear();
 
@@ -112,6 +119,8 @@ class Tracer {
   std::map<std::pair<int, std::string>, int> scope_ids_;  ///< (parent, label)
   std::vector<int> scope_stack_;
   int current_scope_ = -1;
+
+  std::map<std::string, double> counters_;
 };
 
 /// RAII scope annotation. A null tracer makes every member a no-op, so

@@ -197,7 +197,7 @@ TEST(Engines, AgreeWithEachOther) {
     Device dev(DeviceModel::a100());
     SolverOptions opts;
     opts.factor.engine = e;
-    opts.refine_steps = 0;
+    opts.max_refine_steps = 0;
     SparseDirectSolver solver(opts);
     solver.analyze(a);
     solver.factor(dev);
@@ -241,7 +241,7 @@ TEST(Solver, IterativeRefinementImproves) {
   for (int refine : {0, 2}) {
     Device dev(DeviceModel::a100());
     SolverOptions opts;
-    opts.refine_steps = refine;
+    opts.max_refine_steps = refine;
     SparseDirectSolver solver(opts);
     solver.analyze(a);
     solver.factor(dev);
@@ -341,7 +341,7 @@ TEST(MemoryMode, StackedMatchesUpfrontAndShrinksPeak) {
     SolverOptions opts;
     opts.nd.leaf_size = 8;  // deep tree: the stacked savings are largest
     opts.factor.memory = mode;
-    opts.refine_steps = 0;
+    opts.max_refine_steps = 0;
     SparseDirectSolver solver(opts);
     solver.analyze(a);
     solver.factor(dev);
@@ -401,7 +401,7 @@ TEST(DeviceSolve, MatchesHostSolve) {
     Device dev(DeviceModel::a100());
     SolverOptions opts;
     opts.solve_on_device = on_device;
-    opts.refine_steps = 0;
+    opts.max_refine_steps = 0;
     SparseDirectSolver solver(opts);
     solver.analyze(a);
     solver.factor(dev);
@@ -560,7 +560,7 @@ TEST(MultiStream, LevelsSplitAcrossStreamsMatchSingleStream) {
     SolverOptions opts;
     opts.nd.leaf_size = 8;
     opts.factor.num_streams = streams;
-    opts.refine_steps = 0;
+    opts.max_refine_steps = 0;
     SparseDirectSolver solver(opts);
     solver.analyze(a);
     solver.factor(dev);
