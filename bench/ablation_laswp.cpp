@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const int batch = args.get_int("batch", 1000);
   const int jb = args.get_int("jb", 32);
   gpusim::Device dev(model_by_name(args.get_string("device", "a100")));
+  const auto session = make_trace_session(dev, args);
 
   std::printf("irrLASWP ablation (batch=%d, jb=%d, %s)\n\n", batch, jb,
               dev.model().name.c_str());

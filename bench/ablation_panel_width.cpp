@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {std::to_string(n)};
     for (int nb : {8, 16, 32, 64}) {
       gpusim::Device dev(model_by_name(args.get_string("device", "a100")));
+      const auto session = make_trace_session(
+          dev, args, "n" + std::to_string(n) + "-nb" + std::to_string(nb));
       VBatch<double> A(dev, sizes);
       Rng rng(3);
       A.fill_uniform(rng);

@@ -7,6 +7,7 @@
 // runs.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,7 +60,7 @@ inline double gflops(double flops, double seconds) {
 
 /// Standard tracing hook for the driver binaries: `--trace path.json`
 /// (or the IRRLU_TRACE environment variable) attaches a recorder to `dev`
-/// and writes the Chrome trace plus the "irrlu-trace-summary-v1" JSON on
+/// and writes the Chrome trace plus the "irrlu-trace-summary-v2" JSON on
 /// destruction. With neither set the session is disabled and the device
 /// runs the untraced fast path.
 inline std::unique_ptr<trace::TraceSession> make_trace_session(
@@ -68,12 +69,37 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
                                                args.get_string("trace", ""));
 }
 
+/// Variant for drivers that construct several Devices in one run (one per
+/// memory mode, per device model, per sweep point): inserts ".<suffix>"
+/// before the ".json" extension of the resolved trace path so each
+/// configuration writes its own Chrome trace + summary pair. Resolution
+/// order matches the single-device overload: `--trace`, then IRRLU_TRACE,
+/// else a disabled session.
+inline std::unique_ptr<trace::TraceSession> make_trace_session(
+    gpusim::Device& dev, const CliArgs& args, const std::string& suffix) {
+  std::string path = args.get_string("trace", "");
+  if (path.empty()) {
+    const char* env = std::getenv("IRRLU_TRACE");
+    if (env != nullptr) path = env;
+  }
+  if (!path.empty() && !suffix.empty()) {
+    const std::string ext = ".json";
+    if (path.size() > ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+      path.insert(path.size() - ext.size(), "." + suffix);
+    } else {
+      path += "." + suffix;
+    }
+  }
+  return std::make_unique<trace::TraceSession>(dev, path);
+}
+
 // ---------------------------------------------------------------------------
-// Trace summary schema ("irrlu-trace-summary-v1", written by
+// Trace summary schema ("irrlu-trace-summary-v2", written by
 // trace::write_summary_json next to every Chrome trace; read back with
-// trace::read_summary_json). Top level:
+// trace::read_summary_json, which also accepts v1 files). Top level:
 //
-//   schema            "irrlu-trace-summary-v1"
+//   schema            "irrlu-trace-summary-v2"
 //   device            DeviceModel name the run simulated
 //   peak_gflops       roofline compute peak (num_sms * peak_flops_per_sm *
 //                     compute_efficiency)
@@ -94,6 +120,19 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 //
 // Rows are keyed by (scope, kernel), so per-phase numbers compare PR over
 // PR as long as the scope labels stay stable.
+//
+// v2 adds an optional "memory" object (present when the run recorded any
+// device allocations; see trace/memory.hpp, read back with
+// trace::read_memory_summary):
+//
+//   peak_bytes        high-water device bytes over the traced run
+//   current_bytes     bytes still live at write time (0 after teardown)
+//   events            allocation/free events recorded
+//   dropped_events    events past the recorder cap (aggregate stats stay
+//                     exact even when > 0)
+//   tags              one entry per allocation tag, sorted by peak_bytes
+//                     descending: {tag, allocs, frees, current_bytes,
+//                     peak_bytes, lifetime_bytes}
 // ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
     int c = 0;
     for (const char* devname : {"a100", "mi100"}) {
       gpusim::Device dev(model_by_name(devname));
+      const auto session = make_trace_session(
+          dev, args, std::string("qr-") + devname + "-" + std::to_string(n));
       VBatch<double> A(dev, sizes);
       Rng rng(5);
       A.fill_uniform(rng);
@@ -43,6 +45,8 @@ int main(int argc, char** argv) {
     double lu_rate;
     {
       gpusim::Device dev(model_by_name("a100"));
+      const auto session =
+          make_trace_session(dev, args, "lu-a100-" + std::to_string(n));
       VBatch<double> A(dev, sizes);
       Rng rng(5);
       A.fill_uniform(rng);

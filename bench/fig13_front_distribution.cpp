@@ -36,19 +36,22 @@ int main(int argc, char** argv) {
               nc, omega, sys.a.rows(),
               static_cast<long long>(sys.a.nnz()));
 
-  sparse::SolverOptions opts;
-  opts.nd.leaf_size = args.get_int("leaf", 16);  // deep tree, tiny leaves
-  sparse::SparseDirectSolver solver(opts);
-  solver.analyze(sys.a);
-
   // Factor under tracing (A100 model) to attribute simulated device time
-  // to the elimination-tree levels via the "level=N" scopes.
+  // to the elimination-tree levels via the "level=N" scopes. The device
+  // (and the tracers) must be declared before the solver: the factored
+  // fronts are DeviceBuffers that release through the device when the
+  // solver is destroyed.
   gpusim::Device dev(model_by_name(args.get_string("device", "a100")));
   auto session = make_trace_session(dev, args);
   trace::Tracer local_tracer;
   if (!session->enabled()) dev.set_tracer(&local_tracer);
   trace::Tracer& tracer =
       session->enabled() ? *session->tracer() : local_tracer;
+
+  sparse::SolverOptions opts;
+  opts.nd.leaf_size = args.get_int("leaf", 16);  // deep tree, tiny leaves
+  sparse::SparseDirectSolver solver(opts);
+  solver.analyze(sys.a);
   solver.factor(dev);
 
   // Per-level rollup: each launch is charged to the innermost "level=N"

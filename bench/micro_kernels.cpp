@@ -3,6 +3,12 @@
 // complement the paper-figure drivers, which report simulated device time:
 // here the framework's statistics track regressions of the actual C++
 // kernels in this repository.
+//
+// No --trace / IRRLU_TRACE hook here on purpose: google-benchmark owns
+// main() and argument parsing, and each benchmark constructs short-lived
+// Devices inside the timed loop — attaching a recorder would perturb the
+// wall-clock numbers this driver exists to measure. Use the figure /
+// ablation drivers for traced runs.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"

@@ -5,7 +5,7 @@
 //
 //   build/examples/maxwell_solver [--ntheta 24] [--ncross 8] [--omega 16]
 //                                 [--device a100|mi100|cpu]
-//                                 [--trace trace.json]
+//                                 [--trace trace.json] [--mem-report]
 //
 // Prints the three solver phases with their statistics, mirroring the
 // paper's reporting: analysis (MC64 + nested dissection + symbolic),
@@ -15,10 +15,17 @@
 // precision after one step).
 //
 // With --trace (or IRRLU_TRACE=trace.json in the environment) the run
-// records every kernel launch and writes a chrome://tracing JSON plus an
-// aggregate summary; load the trace in Perfetto (ui.perfetto.dev) to see
-// per-stream timelines and the per-level / front-class scope spans.
+// records every kernel launch and device allocation and writes a
+// chrome://tracing JSON plus an aggregate summary; load the trace in
+// Perfetto (ui.perfetto.dev) to see per-stream timelines, the per-level /
+// front-class scope spans, and the per-tag memory counter tracks.
+//
+// --mem-report prints the factorization's measured peak device memory next
+// to the symbolic predictor's peak (exact for the default upfront
+// discipline), plus the per-tag allocation attribution table when a trace
+// recorder is attached.
 #include <cstdio>
+#include <iostream>
 
 #include "common/cli.hpp"
 #include "common/timer.hpp"
@@ -26,6 +33,7 @@
 #include "fem/nedelec.hpp"
 #include "gpusim/device.hpp"
 #include "sparse/solver.hpp"
+#include "trace/memory.hpp"
 #include "trace/session.hpp"
 
 using namespace irrlu;
@@ -48,6 +56,17 @@ int main(int argc, char** argv) {
               sys.a.rows(), static_cast<long long>(sys.a.nnz()),
               t_mesh.seconds());
 
+  // The device (and its trace session) must outlive the solver: the
+  // factored fronts are DeviceBuffers that release through the device on
+  // destruction.
+  gpusim::DeviceModel model = device == "mi100"
+                                  ? gpusim::DeviceModel::mi100()
+                                  : device == "cpu"
+                                        ? gpusim::DeviceModel::xeon6140x2()
+                                        : gpusim::DeviceModel::a100();
+  gpusim::Device dev(model);
+  trace::TraceSession trace_session(dev, args.get_string("trace", ""));
+
   // --- phase 1: reordering and symbolic analysis --------------------------
   sparse::SolverOptions opts;
   opts.nd.leaf_size = 16;
@@ -63,13 +82,6 @@ int main(int argc, char** argv) {
               sym.factor_flops, static_cast<long long>(sym.factor_nnz));
 
   // --- phase 2: numeric factorization -------------------------------------
-  gpusim::DeviceModel model = device == "mi100"
-                                  ? gpusim::DeviceModel::mi100()
-                                  : device == "cpu"
-                                        ? gpusim::DeviceModel::xeon6140x2()
-                                        : gpusim::DeviceModel::a100();
-  gpusim::Device dev(model);
-  trace::TraceSession trace_session(dev, args.get_string("trace", ""));
   solver.factor(dev);
   const auto& num = solver.numeric();
   std::printf("phase 2 (factorization) on %s:\n", model.name.c_str());
@@ -101,6 +113,22 @@ int main(int argc, char** argv) {
   double emax = 0;
   for (double v : x) emax = std::max(emax, std::abs(v));
   std::printf("\nmax |E| circulation: %.4g\n", emax);
+
+  if (args.get_bool("mem-report")) {
+    const double pred = static_cast<double>(frep.predicted_peak_bytes);
+    const double meas = static_cast<double>(frep.measured_peak_bytes);
+    std::printf("\nmemory report (factorization window):\n");
+    std::printf("  measured peak:  %.2f MB\n", meas / 1e6);
+    std::printf("  predicted peak: %.2f MB (symbolic, %s)  ratio %.4f\n",
+                pred / 1e6, sparse::to_string(opts.factor.memory),
+                meas > 0 ? pred / meas : 0.0);
+    if (trace_session.enabled()) {
+      std::printf("\n");
+      trace::print_memory_report(std::cout, *trace_session.tracer());
+    } else {
+      std::printf("  (run with --trace for the per-tag attribution table)\n");
+    }
+  }
 
   if (trace_session.enabled()) {
     trace_session.write();

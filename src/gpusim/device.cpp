@@ -18,7 +18,27 @@ Device::Device(DeviceModel model) : model_(std::move(model)) {
   streams_.emplace_back(new Stream(0));
 }
 
-Device::~Device() = default;
+Device::~Device() {
+#ifndef NDEBUG
+  // Leak report: DeviceBuffers outliving their Device are a
+  // destruction-order bug (their release() would touch a dead Device).
+  // live_allocs_ carries tags only while a tracer was attached, so the
+  // per-entry listing may be a subset of the leaked total.
+  if (bytes_in_use_ != 0) {
+    std::fprintf(stderr,
+                 "irrlu: device destroyed with %zu B still allocated "
+                 "(%zu tagged allocation(s) known):\n",
+                 bytes_in_use_, live_allocs_.size());
+    for (const auto& [p, info] : live_allocs_) {
+      const auto& [tag, bytes] = info;
+      const std::string name =
+          tracer_ != nullptr ? std::string(tracer_->mem_tag_name(tag))
+                             : std::string("tag#") + std::to_string(tag);
+      std::fprintf(stderr, "irrlu:   %zu B  %s\n", bytes, name.c_str());
+    }
+  }
+#endif
+}
 
 Stream& Device::stream(int i) {
   IRRLU_CHECK(i >= 0);
@@ -172,22 +192,60 @@ void Device::reset_timeline() {
   profile_.clear();
 }
 
-void* Device::raw_alloc(std::size_t bytes) {
-  void* p = bytes == 0 ? nullptr : std::malloc(bytes);
-  IRRLU_CHECK_MSG(bytes == 0 || p != nullptr,
+void* Device::raw_alloc(std::size_t bytes, const std::source_location& where) {
+  void* p = std::malloc(bytes);  // bytes > 0: alloc() filters empty requests
+  IRRLU_CHECK_MSG(p != nullptr,
                   "device allocation of " << bytes << " B failed");
   bytes_in_use_ += bytes;
   peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
+  window_peak_ = std::max(window_peak_, bytes_in_use_);
   // Device allocation is a synchronizing host-side operation (the
   // cudaMalloc cost the paper's workspace discussions revolve around).
   host_time_ += model_.alloc_overhead;
+  if (tracer_ != nullptr) note_alloc(p, bytes, where);
   return p;
 }
 
 void Device::raw_free(void* p, std::size_t bytes) {
-  std::free(p);
   IRRLU_DEBUG_ASSERT(bytes_in_use_ >= bytes);
   bytes_in_use_ -= bytes;
+  // Bookkeeping first: a freed pointer value must not be used, not even
+  // as a map key.
+  if (tracer_ != nullptr) {
+    note_free(p, bytes);
+  } else if (!live_allocs_.empty()) {
+    live_allocs_.erase(p);  // stale entry from a detached tracer
+  }
+  std::free(p);
+}
+
+namespace {
+/// Fallback allocation tag when no trace scope is open: "file.cpp:123".
+std::string site_tag(const std::source_location& where) {
+  std::string file = where.file_name();
+  const std::size_t slash = file.find_last_of("/\\");
+  if (slash != std::string::npos) file.erase(0, slash + 1);
+  return file + ':' + std::to_string(where.line());
+}
+}  // namespace
+
+void Device::note_alloc(void* p, std::size_t bytes,
+                        const std::source_location& where) {
+  const int scope = tracer_->current_scope();
+  const int tag = tracer_->intern_mem_tag(
+      scope >= 0 ? tracer_->scope_path(scope) : site_tag(where));
+  live_allocs_.emplace(p, std::make_pair(tag, bytes));
+  tracer_->on_alloc(tag, bytes, host_time_, bytes_in_use_);
+}
+
+void Device::note_free(const void* p, std::size_t bytes) {
+  int tag = -1;
+  const auto it = live_allocs_.find(p);
+  if (it != live_allocs_.end()) {
+    tag = it->second.first;
+    live_allocs_.erase(it);
+  }
+  tracer_->on_free(tag, bytes, host_time_, bytes_in_use_);
 }
 
 }  // namespace irrlu::gpusim

@@ -214,16 +214,34 @@ class Device {
 
   /// Attaches (or detaches, with nullptr) a per-launch trace recorder.
   /// The tracer is pure bookkeeping: simulated timelines are identical
-  /// with and without one attached.
-  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  /// with and without one attached. Switching tracers drops the live
+  /// allocation→tag map (tags belong to the old tracer; freeing those
+  /// buffers under the new one records an untracked free).
+  void set_tracer(trace::Tracer* t) {
+    if (t != tracer_) live_allocs_.clear();
+    tracer_ = t;
+  }
   trace::Tracer* tracer() const { return tracer_; }
 
   /// Allocates device memory (tracked; freed via DeviceBuffer RAII).
+  /// `count == 0` is well-defined: it returns an empty buffer without
+  /// touching the arena (no raw allocation, no simulated alloc overhead).
+  /// With a tracer attached the allocation is tagged by the innermost
+  /// trace scope, falling back to the call site.
   template <typename T>
-  DeviceBuffer<T> alloc(std::size_t count);
+  DeviceBuffer<T> alloc(std::size_t count,
+                        std::source_location where =
+                            std::source_location::current());
 
   std::size_t bytes_in_use() const { return bytes_in_use_; }
   std::size_t peak_bytes() const { return peak_bytes_; }
+
+  /// Windowed high-water mark: `reset_peak_window()` rebases the window to
+  /// the current usage; `window_peak_bytes()` reports the maximum
+  /// bytes-in-use observed since. Unlike peak_bytes(), unaffected by
+  /// earlier phases of the device's lifetime.
+  void reset_peak_window() { window_peak_ = bytes_in_use_; }
+  std::size_t window_peak_bytes() const { return window_peak_; }
 
  private:
   template <typename T>
@@ -232,8 +250,14 @@ class Device {
   void begin_launch(const LaunchConfig& cfg);
   void end_launch(Stream& s, const LaunchConfig& cfg);
 
-  void* raw_alloc(std::size_t bytes);
+  void* raw_alloc(std::size_t bytes, const std::source_location& where);
   void raw_free(void* p, std::size_t bytes);
+  // Takes void* (not const void*): GCC 12's -Wmaybe-uninitialized treats a
+  // const pointer parameter as a read of the pointed-to storage and misfires
+  // on a fresh malloc result. Only the pointer value is used (as a map key).
+  void note_alloc(void* p, std::size_t bytes,
+                  const std::source_location& where);
+  void note_free(const void* p, std::size_t bytes);
 
   DeviceModel model_;
   std::vector<std::unique_ptr<Stream>> streams_;
@@ -261,6 +285,10 @@ class Device {
 
   std::size_t bytes_in_use_ = 0;
   std::size_t peak_bytes_ = 0;
+  std::size_t window_peak_ = 0;
+  /// Live allocations → (mem tag id, bytes), maintained only while a
+  /// tracer is attached; also backs the debug-mode leak report.
+  std::map<const void*, std::pair<int, std::size_t>> live_allocs_;
 };
 
 template <typename T>
@@ -313,8 +341,12 @@ class DeviceBuffer {
 };
 
 template <typename T>
-DeviceBuffer<T> Device::alloc(std::size_t count) {
-  T* p = static_cast<T*>(raw_alloc(count * sizeof(T)));
+DeviceBuffer<T> Device::alloc(std::size_t count, std::source_location where) {
+  if (count == 0) return DeviceBuffer<T>();
+  IRRLU_CHECK_MSG(count <= SIZE_MAX / sizeof(T),
+                  "device allocation of " << count << " x " << sizeof(T)
+                                          << " B overflows size_t");
+  T* p = static_cast<T*>(raw_alloc(count * sizeof(T), where));
   return DeviceBuffer<T>(this, p, count);
 }
 

@@ -23,15 +23,21 @@ const char* to_string(Engine e) {
   return "?";
 }
 
-const char* to_string(MemoryMode m) {
-  switch (m) {
-    case MemoryMode::kAllUpfront: return "all-upfront";
-    case MemoryMode::kStackedLevels: return "stacked-levels";
-  }
-  return "?";
-}
-
 namespace {
+
+/// Trace label bucketing a front group by its largest front dimension —
+/// the paper's front-size classes (Fig. 13/14). Groups are formed per
+/// level, so the largest member characterizes the batch.
+const char* front_class(const std::vector<int>& ids,
+                        const SymbolicAnalysis& sym) {
+  int dmax = 0;
+  for (int id : ids)
+    dmax = std::max(dmax, sym.fronts[static_cast<std::size_t>(id)].dim());
+  if (dmax < 32) return "fronts<32";
+  if (dmax < 128) return "fronts<128";
+  if (dmax < 512) return "fronts<512";
+  return "fronts>=512";
+}
 
 /// Working storage for the square fronts, in either memory discipline.
 /// base(f) is valid while f's level is live.
@@ -54,15 +60,23 @@ class FrontStorage {
     }
     buffers_.resize(sym.levels.size());
     if (mode_ == MemoryMode::kAllUpfront)
-      for (std::size_t lvl = 0; lvl < buffers_.size(); ++lvl)
+      for (std::size_t lvl = 0; lvl < buffers_.size(); ++lvl) {
+        // Upfront allocations carry the same level=N tag the stacked
+        // discipline gets from the engine's per-level scopes.
+        trace::TraceScope level_scope(
+            dev.tracer(), dev.tracer() ? "level=" + std::to_string(lvl)
+                                       : std::string());
         ensure_level(static_cast<int>(lvl));
+      }
   }
 
   void ensure_level(int lvl) {
     auto& buf = buffers_[static_cast<std::size_t>(lvl)];
     if (buf.data() == nullptr &&
-        level_elems_[static_cast<std::size_t>(lvl)] > 0)
+        level_elems_[static_cast<std::size_t>(lvl)] > 0) {
+      IRRLU_TRACE_SCOPE(dev_.tracer(), "front-store");
       buf = dev_.alloc<double>(level_elems_[static_cast<std::size_t>(lvl)]);
+    }
   }
 
   void release_level(int lvl) {
@@ -112,6 +126,10 @@ struct FrontGroup {
       : ids(group_ids) {
     count = static_cast<int>(ids.size());
     const auto n = static_cast<std::size_t>(count);
+    // Descriptor allocations tagged by the batch's front-size class (under
+    // the engine's level=N scope).
+    IRRLU_TRACE_SCOPE(dev.tracer(),
+                      dev.tracer() ? front_class(ids, sym) : "");
     f = dev.alloc<double*>(n);
     f12 = dev.alloc<double*>(n);
     f21 = dev.alloc<double*>(n);
@@ -149,20 +167,6 @@ struct FrontGroup {
   }
 };
 
-/// Trace label bucketing a front group by its largest front dimension —
-/// the paper's front-size classes (Fig. 13/14). Groups are formed per
-/// level, so the largest member characterizes the batch.
-const char* front_class(const std::vector<int>& ids,
-                        const SymbolicAnalysis& sym) {
-  int dmax = 0;
-  for (int id : ids)
-    dmax = std::max(dmax, sym.fronts[static_cast<std::size_t>(id)].dim());
-  if (dmax < 32) return "fronts<32";
-  if (dmax < 128) return "fronts<128";
-  if (dmax < 512) return "fronts<512";
-  return "fronts>=512";
-}
-
 }  // namespace
 
 std::size_t MultifrontalFactor::factor_bytes() const {
@@ -182,6 +186,14 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
                               ? opts.memory
                               : MemoryMode::kAllUpfront;
 
+  // Every allocation and launch of the constructor is attributed under
+  // "factor" (trace scopes are free when no tracer is attached), and the
+  // measured peak is the windowed high-water mark over the whole
+  // constructor — directly comparable to the symbolic prediction.
+  IRRLU_TRACE_SCOPE(dev.tracer(), "factor");
+  const std::size_t in_use0 = dev.bytes_in_use();
+  dev.reset_peak_window();
+
   // Compact factor store: L11\U11 (s x s) + U12 (s x u) + L21 (u x s).
   fstore_offset_.resize(nf);
   ipiv_offset_.resize(nf);
@@ -194,8 +206,11 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     felems += s * s + 2 * s * u;
     pivots += s;
   }
-  factor_store_ = dev.alloc<double>(felems);
-  ipiv_storage_ = dev.alloc<int>(pivots);
+  {
+    IRRLU_TRACE_SCOPE(dev.tracer(), "factor-store");
+    factor_store_ = dev.alloc<double>(felems);
+    ipiv_storage_ = dev.alloc<int>(pivots);
+  }
 
   // Flattened update index lists (needed by the device-side solve).
   upd_offset_.resize(nf);
@@ -204,7 +219,10 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     upd_offset_[i] = upd_total;
     upd_total += sym.fronts[i].upd.size();
   }
-  upd_storage_ = dev.alloc<int>(upd_total);
+  {
+    IRRLU_TRACE_SCOPE(dev.tracer(), "upd-index");
+    upd_storage_ = dev.alloc<int>(upd_total);
+  }
   for (std::size_t i = 0; i < nf; ++i)
     std::copy(sym.fronts[i].upd.begin(), sym.fronts[i].upd.end(),
               upd_storage_.data() + upd_offset_[i]);
@@ -213,12 +231,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   const long l0 = dev.launch_count();
   const long s0 = dev.sync_count();
   const double w0 = dev.sync_wait_seconds();
-  const std::size_t peak0 = dev.peak_bytes();
   auto& stream = dev.stream();
-
-  // Everything the constructor enqueues is attributed under "factor"
-  // (trace scopes are free when no tracer is attached).
-  IRRLU_TRACE_SCOPE(dev.tracer(), "factor");
 
   FrontStorage storage(dev, sym, mode);
 
@@ -251,16 +264,24 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   std::vector<int> asm_start(nf + 1, 0);
   for (std::size_t fi = 0; fi < nf; ++fi)
     asm_start[fi + 1] = asm_start[fi] + static_cast<int>(rows_of[fi].size());
-  auto d_rows = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
-  auto d_cols = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
-  auto d_aidx = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+  gpusim::DeviceBuffer<int> d_rows, d_cols, d_aidx;
+  {
+    IRRLU_TRACE_SCOPE(dev.tracer(), "assembly");
+    d_rows = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+    d_cols = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+    d_aidx = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
+  }
   for (std::size_t fi = 0, o = 0; fi < nf; ++fi)
     for (std::size_t e = 0; e < rows_of[fi].size(); ++e, ++o) {
       d_rows[o] = rows_of[fi][e];
       d_cols[o] = cols_of[fi][e];
       d_aidx[o] = aidx_of[fi][e];
     }
-  auto d_aval = dev.alloc<double>(a_perm.val().size());
+  gpusim::DeviceBuffer<double> d_aval;
+  {
+    IRRLU_TRACE_SCOPE(dev.tracer(), "assembly");
+    d_aval = dev.alloc<double>(a_perm.val().size());
+  }
   std::copy(a_perm.val().begin(), a_perm.val().end(), d_aval.data());
 
   // Scatter maps: this front's upd positions inside the parent.
@@ -269,7 +290,11 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     scat_start[fi + 1] =
         scat_start[fi] +
         (sym.fronts[fi].parent >= 0 ? sym.fronts[fi].u() : 0);
-  auto d_scat = dev.alloc<int>(static_cast<std::size_t>(scat_start[nf]));
+  gpusim::DeviceBuffer<int> d_scat;
+  {
+    IRRLU_TRACE_SCOPE(dev.tracer(), "assembly");
+    d_scat = dev.alloc<int>(static_cast<std::size_t>(scat_start[nf]));
+  }
   for (std::size_t fi = 0; fi < nf; ++fi) {
     const Front& fr = sym.fronts[fi];
     if (fr.parent < 0) continue;
@@ -412,6 +437,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   std::vector<batch::IrrLuOptions> lu_opts_of(
       static_cast<std::size_t>(num_streams), opts.lu);
   for (int s = 0; s < num_streams; ++s) {
+    IRRLU_TRACE_SCOPE(dev.tracer(), "workspace");
     kmin_ws.push_back(dev.alloc<int>(static_cast<std::size_t>(max_batch)));
     laswp_ws.push_back(
         dev.alloc<int>(batch::irr_laswp_workspace_size(max_batch, nb)));
@@ -622,7 +648,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   launches_ = dev.launch_count() - l0;
   syncs_ = dev.sync_count() - s0;
   sync_wait_ = dev.sync_wait_seconds() - w0;
-  peak_bytes_ = dev.peak_bytes() - peak0 + factor_bytes();
+  peak_bytes_ = dev.window_peak_bytes() - in_use0;
 
   // Zero-pivot reports land in whichever group factored the front; the
   // same sweep harvests the robustness diagnostics (device buffers are
@@ -640,6 +666,8 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         report_.pivot_growth =
             std::max(report_.pivot_growth, g->gmax[ks] / g->anorm[ks]);
     }
+  report_.measured_peak_bytes = peak_bytes_;
+  report_.predicted_peak_bytes = sym.predicted_peak_bytes(mode);
   n_ = a_perm.rows();
   anorm1_ = a_perm.norm_1();
   if (auto* tr = dev.tracer()) {
@@ -648,11 +676,18 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     tr->add_counter("factor.zero_pivot_fronts",
                     static_cast<double>(report_.zero_pivot_fronts));
     tr->max_counter("factor.pivot_growth_max", report_.pivot_growth);
+    tr->max_counter("memory.predicted_peak_bytes",
+                    static_cast<double>(report_.predicted_peak_bytes));
+    tr->max_counter("memory.measured_peak_bytes",
+                    static_cast<double>(report_.measured_peak_bytes));
   }
 }
 
 void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
   const int n = static_cast<int>(x.size());
+  // The scope opens before the x staging buffer so the allocation is
+  // tagged "solve" rather than by call site.
+  IRRLU_TRACE_SCOPE(dev_.tracer(), "solve");
   auto dx = dev_.alloc<double>(static_cast<std::size_t>(n));
   std::copy(x.begin(), x.end(), dx.data());
   double* xd = dx.data();
@@ -688,8 +723,6 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
     return std::make_shared<std::vector<double>>(
         static_cast<std::size_t>(max_u));
   };
-
-  IRRLU_TRACE_SCOPE(dev_.tracer(), "solve");
 
   // Forward sweep, leaves to root: x_s <- L11^{-1} P x_s;
   // x[upd] -= L21 x_s.

@@ -35,14 +35,11 @@ enum class Engine {
                      ///< scatter and per-front synchronization
 };
 
-/// Working-front memory discipline.
-enum class MemoryMode {
-  kAllUpfront,
-  kStackedLevels,  ///< batched engine only; others fall back to upfront
-};
+// MemoryMode (the working-front memory discipline) lives in
+// sparse/symbolic.hpp so the symbolic phase can predict either
+// discipline's peak footprint; it is re-exported here via that include.
 
 const char* to_string(Engine e);
-const char* to_string(MemoryMode m);
 
 struct FactorOptions {
   Engine engine = Engine::kBatched;
@@ -79,6 +76,13 @@ struct FactorReport {
   /// a cheap element-growth proxy; large values flag unstable elimination.
   /// 0 when pivot_tau disabled the diagnostics.
   double pivot_growth = 0;
+  /// Peak device bytes the symbolic analysis predicted for the effective
+  /// memory mode (after any engine fallback), and the peak actually
+  /// measured over the constructor's allocation window — printed side by
+  /// side by ablation_memory, maxwell_solver --mem-report, and the trace
+  /// summary.
+  std::size_t predicted_peak_bytes = 0;
+  std::size_t measured_peak_bytes = 0;
 };
 
 /// Owns the factored fronts (compact device storage) and performs solves.
@@ -114,8 +118,11 @@ class MultifrontalFactor {
   long launch_count() const { return launches_; }
   long sync_count() const { return syncs_; }
   double sync_wait_seconds() const { return sync_wait_; }
-  /// Peak bytes of device memory live during this factorization
-  /// (working fronts + factor store + descriptors).
+  /// Peak bytes of device memory this factorization added on top of what
+  /// was live when the constructor started (working fronts + factor store
+  /// + update lists + assembly data + descriptors + workspaces), measured
+  /// over the constructor's windowed high-water mark. Comparable to
+  /// SymbolicAnalysis::predicted_peak_bytes of the effective memory mode.
   std::size_t peak_device_bytes() const { return peak_bytes_; }
   /// Bytes retained after factorization (the compact factors + pivots).
   std::size_t factor_bytes() const;

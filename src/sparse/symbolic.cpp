@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <numeric>
 
+#include "irrblas/irr_kernels.hpp"
 #include "lapack/flops.hpp"
 
 namespace irrlu::sparse {
+
+const char* to_string(MemoryMode m) {
+  switch (m) {
+    case MemoryMode::kAllUpfront: return "all-upfront";
+    case MemoryMode::kStackedLevels: return "stacked-levels";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -74,12 +83,94 @@ void finalize(SymbolicAnalysis& sym) {
 
 }  // namespace
 
+std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
+    MemoryMode mode) const {
+  // Mirrors MultifrontalFactor's constructor allocation inventory for the
+  // batched engine's default single-stream configuration (multi-stream
+  // runs add one workspace pair per extra stream). Every quantity below is
+  // available from the tree alone, so the prediction can steer a traversal
+  // plan before any numeric allocation.
+  //
+  // FrontGroup descriptor footprint per member front: four double* block
+  // pointers (F, F12, F21, F22), the per-front pivot pointer, five ints
+  // (ld, s, u, info, boost count), and the two robustness scalars
+  // (anorm, gmax).
+  constexpr std::size_t kFrontDescriptorBytes =
+      4 * sizeof(double*) + sizeof(int*) + 5 * sizeof(int) +
+      2 * sizeof(double);
+
+  // Tree-wide storage, live for the entire factorization: the compact
+  // factor store + pivots, flattened update lists, assembly triples +
+  // values (one entry per pattern nonzero), extend-add scatter maps, and
+  // the per-stream irrLU workspaces.
+  std::size_t felems = 0, pivots = 0, upd_total = 0, scat_total = 0;
+  for (const Front& f : fronts) {
+    const auto s = static_cast<std::size_t>(f.s());
+    const auto u = static_cast<std::size_t>(f.u());
+    felems += s * s + 2 * s * u;
+    pivots += s;
+    upd_total += u;
+    if (f.parent >= 0) scat_total += u;
+  }
+  int max_batch = 1;
+  for (const auto& lv : levels)
+    max_batch = std::max(max_batch, static_cast<int>(lv.size()));
+  const int nb = std::max(1, batch::IrrLuOptions{}.nb);
+  const std::size_t base =
+      felems * sizeof(double) + pivots * sizeof(int) +
+      upd_total * sizeof(int) +
+      3 * static_cast<std::size_t>(pattern_nnz) * sizeof(int) +
+      static_cast<std::size_t>(pattern_nnz) * sizeof(double) +
+      scat_total * sizeof(int) +
+      static_cast<std::size_t>(max_batch) * sizeof(int) +
+      batch::irr_laswp_workspace_size(max_batch, nb) * sizeof(int);
+
+  // Per-level working-front bytes and descriptor bytes. Descriptors are
+  // built as each level is reached and stay alive to the end, so they
+  // accumulate from the deepest level upward.
+  const std::size_t nl = levels.size();
+  std::vector<std::size_t> front_bytes(nl, 0), desc_bytes(nl, 0);
+  for (const Front& f : fronts) {
+    const auto lvl = static_cast<std::size_t>(f.level);
+    front_bytes[lvl] += static_cast<std::size_t>(f.dim()) *
+                        static_cast<std::size_t>(f.dim()) * sizeof(double);
+    desc_bytes[lvl] += kFrontDescriptorBytes;
+  }
+  const std::size_t total_front =
+      std::accumulate(front_bytes.begin(), front_bytes.end(),
+                      std::size_t{0});
+
+  std::vector<std::size_t> out(nl, 0);
+  std::size_t desc_cum = 0;
+  for (std::size_t lvl = nl; lvl-- > 0;) {
+    desc_cum += desc_bytes[lvl];
+    if (mode == MemoryMode::kAllUpfront) {
+      out[lvl] = base + total_front + desc_cum;
+    } else {
+      // Stacked discipline: while level lvl is factored, its fronts and
+      // (until extend-add completes and the level is released) the child
+      // level's fronts are both live.
+      out[lvl] = base + front_bytes[lvl] +
+                 (lvl + 1 < nl ? front_bytes[lvl + 1] : 0) + desc_cum;
+    }
+  }
+  return out;
+}
+
+std::size_t SymbolicAnalysis::predicted_peak_bytes(MemoryMode mode) const {
+  const std::vector<std::size_t> per_level = predicted_level_peak_bytes(mode);
+  std::size_t peak = 0;
+  for (std::size_t b : per_level) peak = std::max(peak, b);
+  return peak;
+}
+
 SymbolicAnalysis SymbolicAnalysis::build(const CsrMatrix& a_perm,
                                          const ordering::Ordering& ord) {
   SymbolicAnalysis sym;
   const auto& tree = ord.tree;
   sym.fronts.resize(tree.size());
   sym.root = ord.root;
+  sym.pattern_nnz = a_perm.nnz();
 
   // Symmetrized adjacency of the permuted pattern (fronts must cover both
   // (i, j) and (j, i)).
@@ -154,6 +245,7 @@ SymbolicAnalysis SymbolicAnalysis::build_from_etree(const CsrMatrix& a_perm) {
   SymbolicAnalysis sym;
   const int n = a_perm.rows();
   if (n == 0) return sym;
+  sym.pattern_nnz = a_perm.nnz();
   const std::vector<int> parent = elimination_tree(a_perm);
 
   // Column structures of L via row-subtree walks: for every entry (i, k)

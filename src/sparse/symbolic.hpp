@@ -14,6 +14,16 @@
 
 namespace irrlu::sparse {
 
+/// Working-front memory discipline of the numeric factorization (see
+/// multifrontal.hpp). Lives here so the symbolic phase can predict the
+/// peak footprint of either discipline before any numeric allocation.
+enum class MemoryMode {
+  kAllUpfront,
+  kStackedLevels,  ///< batched engine only; others fall back to upfront
+};
+
+const char* to_string(MemoryMode m);
+
 struct Front {
   int sep_begin = 0, sep_end = 0;  ///< eliminated (new-order) range
   std::vector<int> upd;  ///< update variables (new-order indices, sorted)
@@ -40,6 +50,19 @@ struct SymbolicAnalysis {
   std::int64_t factor_nnz = 0;   ///< entries of L+U kept for the solve
   std::int64_t front_elems = 0;  ///< total front storage (elements)
   int max_front_dim = 0;
+  std::int64_t pattern_nnz = 0;  ///< nnz of the analyzed matrix pattern
+
+  /// Predicted peak device bytes of the numeric factorization, per level,
+  /// from the tree alone (front store + factor store + update stacks +
+  /// pivot arrays + assembly triples + batch descriptors + workspaces),
+  /// assuming the batched engine's default single-stream configuration.
+  /// Entry [lvl] is the footprint while level lvl is being factored;
+  /// kAllUpfront is exact for every engine (the non-batched engines force
+  /// that mode), kStackedLevels models the two-adjacent-levels window.
+  std::vector<std::size_t> predicted_level_peak_bytes(MemoryMode mode) const;
+  /// Maximum of predicted_level_peak_bytes over all levels — the global
+  /// predicted peak, comparable to FactorReport::measured_peak_bytes.
+  std::size_t predicted_peak_bytes(MemoryMode mode) const;
 
   /// Builds the analysis from the permuted matrix's *pattern* (the matrix
   /// must already be in nested-dissection order) and the separator tree.

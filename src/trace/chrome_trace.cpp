@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "gpusim/device_model.hpp"
+#include "trace/memory.hpp"
 #include "trace/trace.hpp"
 
 namespace irrlu::trace {
@@ -54,6 +55,8 @@ void write_chrome_trace(const std::string& path, const Tracer& tracer,
   meta_name_event(w, "process_name", 1, 0, "device (" + model.name + ")",
                   false);
   meta_name_event(w, "process_name", 2, 0, "scopes", false);
+  if (!tracer.mem_events().empty())
+    meta_name_event(w, "process_name", 3, 0, "memory", false);
   meta_name_event(w, "thread_name", 0, 0, "host timeline", true);
   for (int s = 0; s <= tracer.max_stream_seen(); ++s)
     meta_name_event(w, "thread_name", 1, s,
@@ -167,6 +170,9 @@ void write_chrome_trace(const std::string& path, const Tracer& tracer,
     w.end_object();
   }
 
+  // --- memory counter tracks ----------------------------------------------
+  write_memory_counter_events(w, tracer);
+
   w.end_array();
   w.end_object();
   std::fprintf(f, "\n");
@@ -190,8 +196,10 @@ std::vector<ChromeEvent> read_chrome_trace(const std::string& path) {
     ev.dur = e.number_or("dur", 0);
     ev.pid = static_cast<int>(e.number_or("pid", 0));
     ev.tid = static_cast<int>(e.number_or("tid", 0));
-    if (const json::Value* args = e.find("args"))
+    if (const json::Value* args = e.find("args")) {
       ev.arg_scope = args->string_or("scope", "");
+      ev.arg_bytes = args->number_or("bytes", 0);
+    }
     out.push_back(std::move(ev));
   }
   return out;

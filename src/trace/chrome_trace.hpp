@@ -10,6 +10,9 @@
 //   pid 2 "scopes"  — scope spans as complete ("X") events, tid = scope
 //                     depth; the span is derived from the launches
 //                     attributed to the scope and its descendants.
+//   pid 3 "memory"  — counter ("C") tracks: total "bytes_in_use" plus one
+//                     "mem:<tag>" track per allocation tag (see
+//                     trace/memory.hpp), sampled at every alloc/free.
 // Timestamps are simulated seconds scaled to microseconds.
 #pragma once
 
@@ -37,6 +40,7 @@ struct ChromeEvent {
   int pid = 0;
   int tid = 0;
   std::string arg_scope;  ///< args.scope when present
+  double arg_bytes = 0;   ///< args.bytes when present (memory counters)
 };
 
 /// Parses a Chrome-trace file written by write_chrome_trace (throws

@@ -1,0 +1,161 @@
+#include "trace/memory.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "trace/trace.hpp"
+
+namespace irrlu::trace {
+
+namespace {
+
+constexpr double kToMicros = 1e6;  // simulated seconds -> trace microseconds
+
+double mb(std::size_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+}  // namespace
+
+MemorySummary memory_summary(const Tracer& tracer) {
+  MemorySummary s;
+  s.present = true;
+  s.peak_bytes = tracer.mem_peak_bytes();
+  s.current_bytes = tracer.mem_current_bytes();
+  s.events = static_cast<long>(tracer.mem_events().size());
+  s.dropped_events = tracer.dropped_mem_events();
+  const auto& names = tracer.mem_tags();
+  const auto& stats = tracer.mem_tag_stats();
+  s.tags.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    MemTagRow row;
+    row.tag = names[i];
+    row.allocs = stats[i].allocs;
+    row.frees = stats[i].frees;
+    row.current_bytes = stats[i].current_bytes;
+    row.peak_bytes = stats[i].peak_bytes;
+    row.lifetime_bytes = stats[i].lifetime_bytes;
+    s.tags.push_back(std::move(row));
+  }
+  std::sort(s.tags.begin(), s.tags.end(),
+            [](const MemTagRow& a, const MemTagRow& b) {
+              if (a.peak_bytes != b.peak_bytes)
+                return a.peak_bytes > b.peak_bytes;
+              return a.tag < b.tag;
+            });
+  return s;
+}
+
+void print_memory_report(std::ostream& out, const Tracer& tracer) {
+  const MemorySummary s = memory_summary(tracer);
+  out << "memory: peak " << TextTable::fmt(mb(s.peak_bytes), 2)
+      << " MB, live " << TextTable::fmt(mb(s.current_bytes), 2) << " MB ("
+      << s.events << " events";
+  if (s.dropped_events > 0) out << ", " << s.dropped_events << " dropped";
+  out << ")\n";
+  TextTable table(
+      {"tag", "allocs", "frees", "live MB", "peak MB", "lifetime MB"});
+  for (const MemTagRow& r : s.tags)
+    table.add_row(r.tag, r.allocs, r.frees, TextTable::fmt(mb(r.current_bytes), 2),
+                  TextTable::fmt(mb(r.peak_bytes), 2),
+                  TextTable::fmt(mb(r.lifetime_bytes), 2));
+  table.print(out);
+}
+
+void write_memory_json(json::Writer& w, const Tracer& tracer) {
+  const MemorySummary s = memory_summary(tracer);
+  w.begin_object();
+  w.kv_int("peak_bytes", static_cast<long long>(s.peak_bytes));
+  w.kv_int("current_bytes", static_cast<long long>(s.current_bytes));
+  w.kv_int("events", s.events);
+  w.kv_int("dropped_events", s.dropped_events);
+  w.key("tags");
+  w.begin_array();
+  for (const MemTagRow& r : s.tags) {
+    w.begin_object(/*compact=*/true);
+    w.kv("tag", r.tag);
+    w.kv_int("allocs", r.allocs);
+    w.kv_int("frees", r.frees);
+    w.kv_int("current_bytes", static_cast<long long>(r.current_bytes));
+    w.kv_int("peak_bytes", static_cast<long long>(r.peak_bytes));
+    w.kv_int("lifetime_bytes", static_cast<long long>(r.lifetime_bytes));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_memory_counter_events(json::Writer& w, const Tracer& tracer) {
+  // Replay the bounded event log, maintaining per-tag running usage so
+  // each counter sample carries its track's value at that instant.
+  std::vector<std::size_t> tag_current(tracer.mem_tags().size(), 0);
+  for (const MemEventRecord& e : tracer.mem_events()) {
+    w.begin_object(/*compact=*/true);
+    w.kv("name", "bytes_in_use");
+    w.kv("cat", "memory");
+    w.kv("ph", "C");
+    w.kv("ts", e.sim_time * kToMicros, "%.6f");
+    w.kv_int("pid", 3);
+    w.kv_int("tid", 0);
+    w.key("args");
+    w.begin_object(true);
+    w.kv_int("bytes", static_cast<long long>(e.in_use_after));
+    w.end_object();
+    w.end_object();
+
+    if (e.tag < 0) continue;
+    const auto t = static_cast<std::size_t>(e.tag);
+    if (e.is_free)
+      tag_current[t] -= std::min(tag_current[t], e.bytes);
+    else
+      tag_current[t] += e.bytes;
+    w.begin_object(true);
+    w.kv("name", "mem:" + std::string(tracer.mem_tag_name(e.tag)));
+    w.kv("cat", "memory");
+    w.kv("ph", "C");
+    w.kv("ts", e.sim_time * kToMicros, "%.6f");
+    w.kv_int("pid", 3);
+    w.kv_int("tid", 0);
+    w.key("args");
+    w.begin_object(true);
+    w.kv_int("bytes", static_cast<long long>(tag_current[t]));
+    w.end_object();
+    w.end_object();
+  }
+}
+
+MemorySummary read_memory_summary(const std::string& summary_path) {
+  const json::Value doc = json::parse_file(summary_path);
+  MemorySummary s;
+  const json::Value* mem = doc.find("memory");
+  if (mem == nullptr) return s;  // v1 file, or memory tracking not active
+  IRRLU_CHECK_MSG(mem->is_object(),
+                  "trace: " << summary_path << " \"memory\" is not an object");
+  s.present = true;
+  s.peak_bytes = static_cast<std::size_t>(mem->number_or("peak_bytes", 0));
+  s.current_bytes =
+      static_cast<std::size_t>(mem->number_or("current_bytes", 0));
+  s.events = static_cast<long>(mem->number_or("events", 0));
+  s.dropped_events = static_cast<long>(mem->number_or("dropped_events", 0));
+  if (const json::Value* tags = mem->find("tags")) {
+    IRRLU_CHECK_MSG(tags->is_array(), "trace: " << summary_path
+                                                << " memory.tags not array");
+    s.tags.reserve(tags->items.size());
+    for (const json::Value& t : tags->items) {
+      MemTagRow row;
+      row.tag = t.string_or("tag", "");
+      row.allocs = static_cast<long>(t.number_or("allocs", 0));
+      row.frees = static_cast<long>(t.number_or("frees", 0));
+      row.current_bytes =
+          static_cast<std::size_t>(t.number_or("current_bytes", 0));
+      row.peak_bytes = static_cast<std::size_t>(t.number_or("peak_bytes", 0));
+      row.lifetime_bytes =
+          static_cast<std::size_t>(t.number_or("lifetime_bytes", 0));
+      s.tags.push_back(std::move(row));
+    }
+  }
+  return s;
+}
+
+}  // namespace irrlu::trace

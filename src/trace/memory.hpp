@@ -1,0 +1,60 @@
+// Memory-observability exporters over the Tracer's allocation timeline
+// (see DESIGN.md §9): per-tag peak attribution for the text report,
+// Chrome-trace counter tracks for Perfetto, and the "memory" object of
+// the summary JSON (schema v2) with a parse-back reader.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace irrlu::json {
+class Writer;
+}
+
+namespace irrlu::trace {
+
+class Tracer;
+
+/// One tag's aggregate allocation statistics, as exported/parsed.
+struct MemTagRow {
+  std::string tag;
+  long allocs = 0;
+  long frees = 0;
+  std::size_t current_bytes = 0;
+  std::size_t peak_bytes = 0;
+  std::size_t lifetime_bytes = 0;
+};
+
+/// The summary JSON "memory" object: device-wide peaks plus the per-tag
+/// table (sorted by peak_bytes, descending).
+struct MemorySummary {
+  bool present = false;  ///< reader: whether the file carried the object
+  std::size_t peak_bytes = 0;
+  std::size_t current_bytes = 0;
+  long events = 0;  ///< recorded allocation/free events
+  long dropped_events = 0;
+  std::vector<MemTagRow> tags;
+};
+
+/// Builds the summary from a live tracer.
+MemorySummary memory_summary(const Tracer& tracer);
+
+/// Per-tag peak-attribution table (appended to the trace text report when
+/// allocation events were recorded).
+void print_memory_report(std::ostream& out, const Tracer& tracer);
+
+/// Writes the "memory" object value (the caller emits the key).
+void write_memory_json(json::Writer& w, const Tracer& tracer);
+
+/// Emits Chrome-trace counter events ("ph":"C", pid 3): total bytes-in-use
+/// plus one "mem:<tag>" track per tag, on the simulated timeline next to
+/// the kernel spans. Must be called inside the traceEvents array.
+void write_memory_counter_events(json::Writer& w, const Tracer& tracer);
+
+/// Reads the "memory" object back from a summary JSON file; returns a
+/// summary with `present == false` when the file has none (v1 files).
+MemorySummary read_memory_summary(const std::string& summary_path);
+
+}  // namespace irrlu::trace

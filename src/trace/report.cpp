@@ -7,6 +7,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "gpusim/device_model.hpp"
+#include "trace/memory.hpp"
 #include "trace/trace.hpp"
 
 namespace irrlu::trace {
@@ -82,6 +83,8 @@ void print_report(std::ostream& out, const Tracer& tracer,
   if (tracer.dropped_launches() > 0)
     out << "(" << tracer.dropped_launches()
         << " launches dropped at the trace cap)\n";
+  if (!tracer.mem_events().empty() || !tracer.mem_tags().empty())
+    print_memory_report(out, tracer);
 }
 
 void write_summary_json(const std::string& path, const Tracer& tracer,
@@ -94,7 +97,7 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
 
   json::Writer w(f);
   w.begin_object();
-  w.kv("schema", "irrlu-trace-summary-v1");
+  w.kv("schema", "irrlu-trace-summary-v2");
   w.kv("device", model.name);
   w.kv("peak_gflops", peak_flops / 1e9, "%.3f");
   w.kv("peak_gbs", model.mem_bandwidth / 1e9, "%.3f");
@@ -105,6 +108,10 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
     for (const auto& [name, value] : tracer.counters())
       w.kv(name.c_str(), value, "%.12g");
     w.end_object();
+  }
+  if (!tracer.mem_events().empty() || !tracer.mem_tags().empty()) {
+    w.key("memory");
+    write_memory_json(w, tracer);
   }
   w.key("rows");
   w.begin_array();
@@ -132,8 +139,12 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
 
 std::vector<SummaryRow> read_summary_json(const std::string& path) {
   const json::Value doc = json::parse_file(path);
-  IRRLU_CHECK_MSG(doc.string_or("schema", "") == "irrlu-trace-summary-v1",
-                  "trace: " << path << " is not an irrlu-trace-summary-v1");
+  const std::string schema = doc.string_or("schema", "");
+  // v2 added the optional "memory" object; the row layout is unchanged,
+  // so the reader accepts both versions.
+  IRRLU_CHECK_MSG(
+      schema == "irrlu-trace-summary-v2" || schema == "irrlu-trace-summary-v1",
+      "trace: " << path << " is not an irrlu-trace-summary-v1/v2");
   const json::Value* rows = doc.find("rows");
   IRRLU_CHECK_MSG(rows != nullptr && rows->is_array(),
                   "trace: " << path << " has no rows array");

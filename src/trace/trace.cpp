@@ -4,8 +4,11 @@
 
 namespace irrlu::trace {
 
-Tracer::Tracer(std::size_t reserve_launches, std::size_t max_launches)
-    : max_launches_(max_launches) {
+Tracer::Tracer(std::size_t reserve_launches, std::size_t max_launches,
+               std::size_t max_mem_events)
+    : max_launches_(max_launches),
+      max_mem_events_(max_mem_events),
+      mem_epoch_(std::chrono::steady_clock::now()) {
   launches_.reserve(std::min(reserve_launches, max_launches));
 }
 
@@ -74,6 +77,59 @@ void Tracer::max_counter(std::string_view name, double value) {
   if (!inserted) it->second = std::max(it->second, value);
 }
 
+int Tracer::intern_mem_tag(std::string_view tag) {
+  const auto it = mem_tag_ids_.find(std::string(tag));
+  if (it != mem_tag_ids_.end()) return it->second;
+  const int id = static_cast<int>(mem_tag_names_.size());
+  mem_tag_names_.emplace_back(tag);
+  mem_tag_stats_.emplace_back();
+  mem_tag_ids_.emplace(mem_tag_names_.back(), id);
+  return id;
+}
+
+void Tracer::record_mem_event(bool is_free, int tag, std::size_t bytes,
+                              double sim_time, std::size_t in_use_after) {
+  // Aggregate stats stay exact past the event cap.
+  mem_current_bytes_ = in_use_after;
+  mem_peak_bytes_ = std::max(mem_peak_bytes_, in_use_after);
+  if (tag >= 0) {
+    MemTagStats& st = mem_tag_stats_[static_cast<std::size_t>(tag)];
+    if (is_free) {
+      ++st.frees;
+      st.current_bytes -= std::min(st.current_bytes, bytes);
+    } else {
+      ++st.allocs;
+      st.current_bytes += bytes;
+      st.lifetime_bytes += bytes;
+      st.peak_bytes = std::max(st.peak_bytes, st.current_bytes);
+    }
+  }
+  if (mem_events_.size() >= max_mem_events_) {
+    ++dropped_mem_;
+    return;
+  }
+  MemEventRecord r;
+  r.is_free = is_free;
+  r.tag = tag;
+  r.bytes = bytes;
+  r.in_use_after = in_use_after;
+  r.sim_time = sim_time;
+  r.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - mem_epoch_)
+                       .count();
+  mem_events_.push_back(r);
+}
+
+void Tracer::on_alloc(int tag, std::size_t bytes, double sim_time,
+                      std::size_t in_use_after) {
+  record_mem_event(false, tag, bytes, sim_time, in_use_after);
+}
+
+void Tracer::on_free(int tag, std::size_t bytes, double sim_time,
+                     std::size_t in_use_after) {
+  record_mem_event(true, tag, bytes, sim_time, in_use_after);
+}
+
 std::string Tracer::scope_path(int id) const {
   if (id < 0) return {};
   std::vector<const std::string*> parts;
@@ -108,6 +164,13 @@ void Tracer::clear() {
   scope_stack_.clear();
   current_scope_ = -1;
   counters_.clear();
+  mem_events_.clear();
+  dropped_mem_ = 0;
+  mem_tag_names_.clear();
+  mem_tag_ids_.clear();
+  mem_tag_stats_.clear();
+  mem_peak_bytes_ = 0;
+  mem_current_bytes_ = 0;
 }
 
 }  // namespace irrlu::trace

@@ -61,6 +61,27 @@ struct ScopeNode {
   double wall_seconds = 0;  ///< real host seconds spent inside
 };
 
+/// One device allocation or free, as recorded by Device::raw_alloc /
+/// raw_free while a tracer is attached.
+struct MemEventRecord {
+  bool is_free = false;
+  int tag = -1;                 ///< index into Tracer::mem_tags(), -1 = none
+  std::size_t bytes = 0;        ///< size of this allocation
+  std::size_t in_use_after = 0; ///< device bytes_in_use after the event
+  double sim_time = 0;          ///< simulated host time of the event
+  double wall_seconds = 0;      ///< real host seconds since tracer creation
+};
+
+/// Per-tag aggregate allocation statistics. Unlike the bounded event log,
+/// these stay exact even once events are dropped.
+struct MemTagStats {
+  long allocs = 0;
+  long frees = 0;
+  std::size_t current_bytes = 0;   ///< live bytes attributed to the tag
+  std::size_t peak_bytes = 0;      ///< high-water of current_bytes
+  std::size_t lifetime_bytes = 0;  ///< total bytes ever allocated
+};
+
 /// Collects launch/sync/scope records for one Device. Storage is
 /// reserve-based with a hard cap: once `max_launches` records exist,
 /// further launches are counted as dropped instead of recorded, so a
@@ -68,7 +89,8 @@ struct ScopeNode {
 class Tracer {
  public:
   explicit Tracer(std::size_t reserve_launches = std::size_t{1} << 14,
-                  std::size_t max_launches = std::size_t{1} << 22);
+                  std::size_t max_launches = std::size_t{1} << 22,
+                  std::size_t max_mem_events = std::size_t{1} << 20);
 
   // --- recording (called by Device and TraceScope) -----------------------
   int intern_kernel(const char* name);
@@ -83,6 +105,15 @@ class Tracer {
   /// first use.
   void add_counter(std::string_view name, double value);
   void max_counter(std::string_view name, double value);
+  /// Memory timeline (fed by Device::raw_alloc / raw_free). Tags are
+  /// interned like kernel names; `on_alloc`/`on_free` stamp the real-time
+  /// clock internally (relative to tracer creation) so the device never
+  /// reads wall clocks for memory bookkeeping.
+  int intern_mem_tag(std::string_view tag);
+  void on_alloc(int tag, std::size_t bytes, double sim_time,
+                std::size_t in_use_after);
+  void on_free(int tag, std::size_t bytes, double sim_time,
+               std::size_t in_use_after);
 
   // --- inspection --------------------------------------------------------
   int current_scope() const { return current_scope_; }
@@ -101,6 +132,24 @@ class Tracer {
   long dropped_launches() const { return dropped_; }
   int max_stream_seen() const { return max_stream_; }
   const std::map<std::string, double>& counters() const { return counters_; }
+
+  const std::vector<MemEventRecord>& mem_events() const { return mem_events_; }
+  const std::vector<std::string>& mem_tags() const { return mem_tag_names_; }
+  /// Tag label for an event (the "(untracked)" bucket for tag < 0).
+  std::string_view mem_tag_name(int tag) const {
+    return tag < 0 ? std::string_view("(untracked)")
+                   : std::string_view(
+                         mem_tag_names_[static_cast<std::size_t>(tag)]);
+  }
+  /// Aggregate stats per tag, index-aligned with mem_tags().
+  const std::vector<MemTagStats>& mem_tag_stats() const {
+    return mem_tag_stats_;
+  }
+  long dropped_mem_events() const { return dropped_mem_; }
+  /// Running maxima of bytes-in-use as seen by this tracer; exact even
+  /// when the event log is saturated.
+  std::size_t mem_peak_bytes() const { return mem_peak_bytes_; }
+  std::size_t mem_current_bytes() const { return mem_current_bytes_; }
 
   void clear();
 
@@ -121,6 +170,19 @@ class Tracer {
   int current_scope_ = -1;
 
   std::map<std::string, double> counters_;
+
+  std::vector<MemEventRecord> mem_events_;
+  std::size_t max_mem_events_;
+  long dropped_mem_ = 0;
+  std::vector<std::string> mem_tag_names_;
+  std::map<std::string, int> mem_tag_ids_;
+  std::vector<MemTagStats> mem_tag_stats_;
+  std::size_t mem_peak_bytes_ = 0;
+  std::size_t mem_current_bytes_ = 0;
+  std::chrono::steady_clock::time_point mem_epoch_;
+
+  void record_mem_event(bool is_free, int tag, std::size_t bytes,
+                        double sim_time, std::size_t in_use_after);
 };
 
 /// RAII scope annotation. A null tracer makes every member a no-op, so

@@ -2,6 +2,10 @@
 // memory limits, stream timelines, memory accounting, and the cost model.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -286,4 +290,107 @@ TEST(Device, AllocationCostsSimulatedTime) {
   const double t0 = dev.host_time();
   auto buf = dev.alloc<double>(1000);
   EXPECT_GE(dev.host_time() - t0, dev.model().alloc_overhead * 0.99);
+}
+
+TEST(Device, AllocZeroElementsIsEmptyNoop) {
+  // A zero-count alloc yields a valid empty buffer without touching the
+  // arena or the simulated clock (no cudaMalloc analogue is issued).
+  Device dev(DeviceModel::a100());
+  const double t0 = dev.host_time();
+  auto buf = dev.alloc<double>(0);
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+  EXPECT_EQ(dev.peak_bytes(), 0u);
+  EXPECT_EQ(dev.host_time(), t0);
+  buf.release();  // releasing an empty buffer is a no-op too
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+}
+
+TEST(DeviceBuffer, MoveAssignReleasesOldExactlyOnce) {
+  Device dev(DeviceModel::test_tiny());
+  auto a = dev.alloc<double>(100);  // 800 B
+  auto b = dev.alloc<double>(50);   // 400 B
+  a[0] = 3.5;
+  EXPECT_EQ(dev.bytes_in_use(), 1200u);
+  b = std::move(a);  // must free b's old 400 B exactly once
+  EXPECT_EQ(dev.bytes_in_use(), 800u);
+  EXPECT_EQ(b[0], 3.5);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  b.release();
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+  b.release();  // double release is a no-op, not a double free
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+}
+
+TEST(DeviceBuffer, SelfMoveAssignIsNoop) {
+  Device dev(DeviceModel::test_tiny());
+  auto a = dev.alloc<int>(8);
+  a[0] = 11;
+  auto& alias = a;  // via an alias so -Wself-move stays quiet
+  a = std::move(alias);
+  EXPECT_EQ(a[0], 11);
+  EXPECT_EQ(dev.bytes_in_use(), 32u);
+}
+
+TEST(Device, PeakTracksInterleavedAllocFree) {
+  // peak_bytes is the lifetime high-water mark; window_peak_bytes rebases
+  // at reset_peak_window() so a later phase can be measured in isolation.
+  Device dev(DeviceModel::test_tiny());
+  auto a = dev.alloc<char>(1000);
+  {
+    auto b = dev.alloc<char>(500);
+    EXPECT_EQ(dev.peak_bytes(), 1500u);
+  }
+  {
+    auto c = dev.alloc<char>(200);  // 1200 live: below the 1500 peak
+    EXPECT_EQ(dev.peak_bytes(), 1500u);
+    EXPECT_EQ(dev.bytes_in_use(), 1200u);
+  }
+  dev.reset_peak_window();  // window starts at the current 1000 B
+  EXPECT_EQ(dev.window_peak_bytes(), 1000u);
+  {
+    auto d = dev.alloc<char>(300);
+    EXPECT_EQ(dev.window_peak_bytes(), 1300u);
+  }
+  auto e = dev.alloc<char>(100);  // 1100 live: window peak stays 1300
+  EXPECT_EQ(dev.window_peak_bytes(), 1300u);
+  EXPECT_EQ(dev.peak_bytes(), 1500u);  // lifetime peak unaffected
+}
+
+TEST(Device, SharedMemoryOverflowMessageIsActionable) {
+  Device dev(DeviceModel::test_tiny());
+  try {
+    dev.launch(dev.stream(), {"smem_msg", 1, 64}, [&](BlockCtx& ctx) {
+      ctx.smem_alloc<double>(9);  // needs 72 B against a 64 B budget
+    });
+    FAIL() << "expected shared-memory overflow";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shared memory overflow"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("64"), std::string::npos) << msg;  // declared budget
+    EXPECT_NE(msg.find("72"), std::string::npos) << msg;  // required bytes
+  }
+}
+
+TEST(BlockCtx, SmemAlignmentPaddingCountsTowardCapacity) {
+  // Each smem_alloc rounds its offset up to alignof(std::max_align_t);
+  // the padding is real capacity. A 1-byte allocation followed by an
+  // 8-byte one needs align + 8 bytes, not 9.
+  Device dev(DeviceModel::test_tiny());
+  constexpr std::size_t align = alignof(std::max_align_t);
+  dev.launch(dev.stream(), {"smem_pad_ok", 1, align + 8}, [](BlockCtx& ctx) {
+    ctx.smem_alloc<char>(1);
+    double* d = ctx.smem_alloc<double>(1);  // offset rounds up to `align`
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  });
+  EXPECT_THROW(
+      dev.launch(dev.stream(), {"smem_pad_over", 1, align + 7},
+                 [](BlockCtx& ctx) {
+                   ctx.smem_alloc<char>(1);
+                   ctx.smem_alloc<double>(1);  // align + 8 > align + 7
+                 }),
+      Error);
 }
