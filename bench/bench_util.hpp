@@ -167,4 +167,48 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 // stable); speedup tracks the engine against the frozen pre-PR baseline.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// BENCH_factor.json schema (written by bench/bench_factor, schema id
+// "irrlu-bench-factor-v1"): end-to-end host wall-clock of the sparse solver
+// pipeline over a family of Maxwell torus systems, with the device memory
+// pool on vs off. Top level:
+//
+//   {
+//     "schema":  "irrlu-bench-factor-v1",
+//     "device":  DeviceModel name,
+//     "repeats": refactor repetitions per configuration,
+//     "points":  [ <point>, ... ]
+//   }
+//
+// Each <point> is one torus resolution:
+//
+//   ntheta, ncross    mesh parameters (torus(ntheta, ncross, ncross))
+//   n, nnz            system dimension and nonzero count
+//   configs           two entries, pool on first:
+//     pool                    true | false
+//     analyze_wall_s          phase-1 host seconds (ordering + symbolic)
+//     factor_wall_s           first numeric factorization, host seconds
+//     refactor_wall_median_s  median over `repeats` same-pattern refactors
+//                             (the sequence-of-systems scenario the pool
+//                             accelerates; every allocation recycles here)
+//     solve_wall_s            one solve with refinement, host seconds
+//     factor_sim_s            simulated device seconds — bitwise equal
+//                             between the two configs by construction
+//     launches, allocs        device launch / allocation event counts
+//                             (also bitwise equal pool on/off)
+//     host_allocs             actual host mallocs behind those events;
+//                             the pool makes this strictly smaller
+//     pool_hits, pool_misses, pool_bytes_served, pool_hit_rate
+//                             MemPool::Stats (zero when pool is false)
+//     peak_bytes              device high-water mark (equal on/off)
+//     residual                normwise residual of the final solve
+//   refactor_speedup  pool-off / pool-on refactor medians (wall clock,
+//                     machine-dependent — report, do not gate on it)
+//   host_alloc_ratio  pool-on / pool-off host mallocs (deterministic)
+//
+// The driver itself exits nonzero when any deterministic invariant fails
+// (sim time / launches / allocs / peak differ between configs, or the pool
+// does not reduce host_allocs); ctest runs it as bench_factor_smoke.
+// ---------------------------------------------------------------------------
+
 }  // namespace irrlu::bench

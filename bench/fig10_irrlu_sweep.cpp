@@ -53,6 +53,10 @@ int main(int argc, char** argv) {
   const int batch = args.get_int("batch", 300);
   const bool full = args.get_bool("full");
   const int streams = args.get_int("streams", 16);
+  // --pool 0 disables the device slab pool. Simulated results are
+  // byte-identical either way (the pool is a host-side optimization;
+  // test_pool asserts the invariant, this flag lets you see it here).
+  const bool pool = args.get_int("pool", 1) != 0;
 
   std::printf("Figure 10 reproduction: irrLU-GPU FP64, %d matrices U[1,N]\n",
               batch);
@@ -73,7 +77,7 @@ int main(int argc, char** argv) {
 
     int c = 0;
     for (const char* devname : {"a100", "mi100"}) {
-      gpusim::Device dev(model_by_name(devname));
+      gpusim::Device dev(model_by_name(devname), pool);
       const Run r = timed(dev, sizes, [&](gpusim::Device& d,
                                           VBatch<double>& A,
                                           PivotBatch& piv) {
@@ -85,7 +89,7 @@ int main(int argc, char** argv) {
       resid = std::max(resid, r.worst_residual);
     }
     for (const char* devname : {"a100", "mi100"}) {
-      gpusim::Device dev(model_by_name(devname));
+      gpusim::Device dev(model_by_name(devname), pool);
       const Run r = timed(dev, sizes, [&](gpusim::Device& d,
                                           VBatch<double>& A,
                                           PivotBatch& piv) {
@@ -98,7 +102,7 @@ int main(int argc, char** argv) {
       resid = std::max(resid, r.worst_residual);
     }
     {
-      gpusim::Device cpu(model_by_name("cpu"));
+      gpusim::Device cpu(model_by_name("cpu"), pool);
       const Run r = timed(cpu, sizes, [&](gpusim::Device& d,
                                           VBatch<double>& A,
                                           PivotBatch& piv) {

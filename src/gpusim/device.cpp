@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "trace/trace.hpp"
 
 namespace irrlu::gpusim {
 
-Device::Device(DeviceModel model) : model_(std::move(model)) {
+Device::Device(DeviceModel model, bool memory_pool) : model_(std::move(model)) {
   IRRLU_CHECK(model_.num_sms >= 1);
   IRRLU_CHECK(model_.max_blocks_per_sm >= 1);
   smem_arena_.resize(model_.shared_mem_per_block);
@@ -16,9 +17,15 @@ Device::Device(DeviceModel model) : model_(std::move(model)) {
       static_cast<std::size_t>(model_.num_sms) * model_.max_blocks_per_sm,
       0.0);
   streams_.emplace_back(new Stream(0));
+  if (memory_pool) pool_ = std::make_unique<MemPool>();
 }
 
 Device::~Device() {
+  // Cached workspaces are device-owned, not leaks: return them (through
+  // raw_free, so the accounting and any attached tracer see the frees)
+  // before the leak check below. Pooled free-list blocks are released by
+  // the MemPool member's destructor and never count as in-use.
+  release_workspaces();
 #ifndef NDEBUG
   // Leak report: DeviceBuffers outliving their Device are a
   // destruction-order bug (their release() would touch a dead Device).
@@ -193,16 +200,43 @@ void Device::reset_timeline() {
 }
 
 void* Device::raw_alloc(std::size_t bytes, const std::source_location& where) {
-  void* p = std::malloc(bytes);  // bytes > 0: alloc() filters empty requests
-  IRRLU_CHECK_MSG(p != nullptr,
-                  "device allocation of " << bytes << " B failed");
-  bytes_in_use_ += bytes;
+  // bytes > 0: alloc() filters empty requests.
+  void* p;
+  bool pool_hit = false;
+  if (pool_ != nullptr) {
+    p = pool_->acquire(bytes, &pool_hit);
+    if (!pool_hit) ++host_alloc_count_;
+  } else {
+    p = std::malloc(bytes);
+    IRRLU_CHECK_MSG(p != nullptr,
+                    "device allocation of " << bytes << " B failed");
+    ++host_alloc_count_;
+  }
+#ifndef NDEBUG
+  // Deterministic poison: a kernel reading device memory before writing it
+  // would otherwise see zero pages on a fresh mmap but stale data on a
+  // pool hit — an on/off byte-identity bug that only reproduces sometimes.
+  // Poisoning both paths makes such a read fail loudly in every build.
+  std::memset(p, 0xAB, bytes);
+#endif
+  ++alloc_count_;
+  bytes_in_use_ += bytes;  // requested bytes; pool slack is not charged
   peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
   window_peak_ = std::max(window_peak_, bytes_in_use_);
   // Device allocation is a synchronizing host-side operation (the
   // cudaMalloc cost the paper's workspace discussions revolve around).
+  // Pool hits charge it too: the pool is a host-side optimization and
+  // must not perturb the simulated timeline (see mem_pool.hpp).
   host_time_ += model_.alloc_overhead;
-  if (tracer_ != nullptr) note_alloc(p, bytes, where);
+  if (tracer_ != nullptr) {
+    note_alloc(p, bytes, where);
+    if (pool_ != nullptr) {
+      tracer_->add_counter(pool_hit ? "pool.hits" : "pool.misses", 1.0);
+      if (pool_hit)
+        tracer_->add_counter("pool.bytes_served",
+                             static_cast<double>(bytes));
+    }
+  }
   return p;
 }
 
@@ -216,7 +250,33 @@ void Device::raw_free(void* p, std::size_t bytes) {
   } else if (!live_allocs_.empty()) {
     live_allocs_.erase(p);  // stale entry from a detached tracer
   }
-  std::free(p);
+  if (pool_ != nullptr)
+    pool_->release(p, bytes);
+  else
+    std::free(p);
+}
+
+void* Device::workspace_bytes(std::string_view key, std::size_t bytes,
+                              const std::source_location& where) {
+  auto it = workspaces_.find(key);
+  if (it == workspaces_.end())
+    it = workspaces_.emplace(std::string(key), Workspace{}).first;
+  Workspace& w = it->second;
+  if (w.bytes < bytes) {
+    if (w.p != nullptr) raw_free(w.p, w.bytes);
+    // Geometric growth: a size-oscillating call sequence settles after
+    // one round instead of reallocating forever.
+    const std::size_t grown = std::max(bytes, 2 * w.bytes);
+    w.p = raw_alloc(grown, where);
+    w.bytes = grown;
+  }
+  return w.p;
+}
+
+void Device::release_workspaces() {
+  for (auto& [key, w] : workspaces_)
+    if (w.p != nullptr) raw_free(w.p, w.bytes);
+  workspaces_.clear();
 }
 
 namespace {

@@ -27,10 +27,12 @@
 #include <queue>
 #include <source_location>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
 #include "gpusim/device_model.hpp"
+#include "gpusim/mem_pool.hpp"
 
 namespace irrlu::trace {
 class Tracer;
@@ -88,6 +90,10 @@ class Stream {
   /// Simulated time at which all work enqueued so far completes.
   double completion_time() const { return cursor_; }
 
+  /// Stream index within its Device (0 is the default stream). Stable for
+  /// the device's lifetime; usable as a per-stream workspace-cache key.
+  int id() const { return id_; }
+
  private:
   friend class Device;
   explicit Stream(int id) : id_(id) {}
@@ -136,7 +142,12 @@ class DeviceBuffer;
 
 class Device {
  public:
-  explicit Device(DeviceModel model);
+  /// `memory_pool` selects the host-side allocation strategy for the
+  /// device's whole lifetime (it cannot be toggled later: a block freed
+  /// into the pool must be reclaimed by the pool). Pooled or not, the
+  /// simulated cost and the memory accounting of every allocation are
+  /// identical — the pool only removes host malloc/free churn.
+  explicit Device(DeviceModel model, bool memory_pool = true);
   ~Device();
 
   Device(const Device&) = delete;
@@ -243,6 +254,51 @@ class Device {
   void reset_peak_window() { window_peak_ = bytes_in_use_; }
   std::size_t window_peak_bytes() const { return window_peak_; }
 
+  // --- slab pool (DESIGN.md §10) ---------------------------------------
+
+  bool pool_enabled() const { return pool_ != nullptr; }
+  /// Pool effectiveness counters; all-zero when the pool is disabled.
+  const MemPool::Stats& pool_stats() const {
+    static const MemPool::Stats kNone{};
+    return pool_ != nullptr ? pool_->stats() : kNone;
+  }
+  /// Returns every cached (free-listed) block to the system. Live
+  /// allocations are unaffected. No-op when the pool is disabled.
+  void pool_trim() {
+    if (pool_ != nullptr) pool_->trim();
+  }
+
+  /// Device allocation events over the lifetime (pool hits included);
+  /// alloc<T>(0) no-ops are not counted.
+  long alloc_count() const { return alloc_count_; }
+  /// Host malloc calls actually performed (= alloc_count() with the pool
+  /// off, the pool's miss count with it on) — the churn the pool removes.
+  long host_alloc_count() const { return host_alloc_count_; }
+
+  // --- reusable workspace cache ----------------------------------------
+
+  /// Returns a scratch buffer of at least `count` elements, cached under
+  /// `key` for the device's lifetime (grown geometrically when a larger
+  /// request arrives, so repeated same-shape kernel calls stop allocating
+  /// at all). Unlike alloc(), a cache hit performs no simulated work: the
+  /// first (or growing) request pays the normal alloc_overhead, later
+  /// requests are free on both the host and the simulated timeline.
+  /// Contents are unspecified on every call. The caller owns consistency
+  /// of the key (include the stream id for per-stream scratch); the
+  /// buffer is valid until release_workspaces() or device destruction.
+  template <typename T>
+  T* workspace(std::string_view key, std::size_t count,
+               std::source_location where = std::source_location::current()) {
+    IRRLU_CHECK_MSG(count <= SIZE_MAX / sizeof(T),
+                    "workspace of " << count << " x " << sizeof(T)
+                                    << " B overflows size_t");
+    return static_cast<T*>(workspace_bytes(key, count * sizeof(T), where));
+  }
+  /// Frees every cached workspace (normally done by the destructor).
+  /// Callers must not hold workspace pointers across this.
+  void release_workspaces();
+  std::size_t workspace_count() const { return workspaces_.size(); }
+
  private:
   template <typename T>
   friend class DeviceBuffer;
@@ -252,6 +308,8 @@ class Device {
 
   void* raw_alloc(std::size_t bytes, const std::source_location& where);
   void raw_free(void* p, std::size_t bytes);
+  void* workspace_bytes(std::string_view key, std::size_t bytes,
+                        const std::source_location& where);
   // Takes void* (not const void*): GCC 12's -Wmaybe-uninitialized treats a
   // const pointer parameter as a read of the pointed-to storage and misfires
   // on a fresh malloc result. Only the pointer value is used (as a map key).
@@ -286,9 +344,24 @@ class Device {
   std::size_t bytes_in_use_ = 0;
   std::size_t peak_bytes_ = 0;
   std::size_t window_peak_ = 0;
+  long alloc_count_ = 0;
+  long host_alloc_count_ = 0;
   /// Live allocations → (mem tag id, bytes), maintained only while a
   /// tracer is attached; also backs the debug-mode leak report.
   std::map<const void*, std::pair<int, std::size_t>> live_allocs_;
+
+  /// Size-class slab pool behind raw_alloc/raw_free; null when disabled
+  /// at construction. Declared after live_allocs_ so the destructor body
+  /// (which releases cached workspaces through raw_free) still sees it.
+  std::unique_ptr<MemPool> pool_;
+
+  struct Workspace {
+    void* p = nullptr;
+    std::size_t bytes = 0;
+  };
+  /// Named reusable scratch buffers (workspace<T>), raw_alloc'd and held
+  /// until release_workspaces()/destruction.
+  std::map<std::string, Workspace, std::less<>> workspaces_;
 };
 
 template <typename T>

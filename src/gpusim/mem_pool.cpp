@@ -1,0 +1,80 @@
+#include "gpusim/mem_pool.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace irrlu::gpusim {
+
+namespace {
+constexpr std::size_t kMinClass = 64;                     // 2^6
+constexpr std::size_t kPow2Limit = std::size_t{1} << 20;  // 1 MiB
+constexpr std::size_t kNumPow2 = 15;                      // 2^6 .. 2^20
+}  // namespace
+
+std::size_t MemPool::class_size(std::size_t bytes) {
+  if (bytes <= kMinClass) return kMinClass;
+  const std::size_t pow2 = std::bit_ceil(bytes);
+  if (pow2 <= kPow2Limit) return pow2;
+  // Quarter steps between pow2/2 and pow2: base + j * base/4 for the
+  // smallest j in {1..4} reaching bytes. An exact power of two lands on
+  // j == 4 (the class equals the request).
+  const std::size_t base = pow2 / 2;
+  const std::size_t step = base / 4;
+  const std::size_t j = (bytes - base + step - 1) / step;
+  return base + j * step;
+}
+
+std::size_t MemPool::class_index(std::size_t bytes) {
+  if (bytes <= kMinClass) return 0;
+  const std::size_t pow2 = std::bit_ceil(bytes);
+  const auto e = static_cast<std::size_t>(std::bit_width(pow2)) - 1;
+  if (pow2 <= kPow2Limit) return e - 6;
+  const std::size_t base = pow2 / 2;
+  const std::size_t step = base / 4;
+  const std::size_t j = (bytes - base + step - 1) / step;  // 1..4
+  return kNumPow2 + (e - 21) * 4 + (j - 1);
+}
+
+void* MemPool::acquire(std::size_t bytes, bool* hit) {
+  const std::size_t idx = class_index(bytes);
+  if (idx < free_.size() && !free_[idx].empty()) {
+    void* p = free_[idx].back();
+    free_[idx].pop_back();
+    ++stats_.hits;
+    stats_.bytes_served += bytes;
+    stats_.held_bytes -= class_size(bytes);
+    --stats_.held_blocks;
+    if (hit != nullptr) *hit = true;
+    return p;
+  }
+  const std::size_t cls = class_size(bytes);
+  void* p = std::malloc(cls);
+  IRRLU_CHECK_MSG(p != nullptr, "device allocation of " << bytes
+                                    << " B (pool class " << cls
+                                    << " B) failed");
+  ++stats_.misses;
+  if (hit != nullptr) *hit = false;
+  return p;
+}
+
+void MemPool::release(void* p, std::size_t bytes) {
+  const std::size_t idx = class_index(bytes);
+  if (idx >= free_.size()) free_.resize(idx + 1);
+  free_[idx].push_back(p);
+  stats_.held_bytes += class_size(bytes);
+  ++stats_.held_blocks;
+}
+
+void MemPool::trim() {
+  for (auto& blocks : free_) {
+    for (void* p : blocks) std::free(p);
+    blocks.clear();
+  }
+  free_.clear();
+  stats_.held_bytes = 0;
+  stats_.held_blocks = 0;
+}
+
+}  // namespace irrlu::gpusim

@@ -1,0 +1,73 @@
+// Size-class slab pool backing Device::alloc (DESIGN.md §10).
+//
+// Device allocation in the simulator is a stand-in for cudaMalloc: it is
+// host-synchronizing and, on real hardware, expensive enough that the
+// paper's interface discussion revolves around hoisting it out of the hot
+// path. The pool removes the *host-side* cost of the remaining
+// allocations (malloc/munmap churn and the page faulting behind it) by
+// recycling blocks through per-size-class free lists, while the
+// *simulated* cost model is untouched: a pool hit still charges the same
+// alloc_overhead as a fresh allocation, so simulated timelines are
+// byte-identical with the pool on or off (test_pool asserts this).
+//
+// Blocks are binned into deterministic size classes — powers of two up to
+// 1 MiB, quarter-power-of-two steps above — recomputable from the
+// requested byte count alone, so acquire() and release() agree on the
+// class without storing per-block headers. Blocks come from std::malloc
+// and are therefore max_align_t-aligned, like the un-pooled path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace irrlu::gpusim {
+
+class MemPool {
+ public:
+  /// Host-side pool effectiveness counters (simulation-invisible).
+  struct Stats {
+    long hits = 0;        ///< acquires served from a free list (no malloc)
+    long misses = 0;      ///< acquires that fell through to std::malloc
+    std::size_t bytes_served = 0;  ///< requested bytes satisfied by hits
+    std::size_t held_bytes = 0;    ///< capacity currently on free lists
+    std::size_t held_blocks = 0;   ///< blocks currently on free lists
+  };
+
+  MemPool() = default;
+  ~MemPool() { trim(); }
+  MemPool(const MemPool&) = delete;
+  MemPool& operator=(const MemPool&) = delete;
+
+  /// Capacity class a request of `bytes` is served from: the smallest
+  /// class >= bytes. Classes are powers of two in [64 B, 1 MiB] and
+  /// quarter-power-of-two steps above (waste bounded by ~20%).
+  static std::size_t class_size(std::size_t bytes);
+
+  /// Returns a block of class_size(bytes) capacity: recycled from the
+  /// class's free list when available (hit), freshly malloc'd otherwise
+  /// (miss). Contents are unspecified either way. Never returns null
+  /// (allocation failure throws, matching the un-pooled path).
+  void* acquire(std::size_t bytes, bool* hit = nullptr);
+
+  /// Returns a block previously obtained with acquire(bytes') where
+  /// class_size(bytes') == class_size(bytes) to its free list. The block
+  /// is retained for reuse until trim() or destruction.
+  void release(void* p, std::size_t bytes);
+
+  /// Frees every cached block back to the system.
+  void trim();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Dense index of class_size(bytes) into free_: pow2 classes map to
+  /// log2 - 6, quarter-step classes above 1 MiB to four slots per octave.
+  /// Arithmetic only — the acquire/release hot path stays O(1), cheaper
+  /// than the allocator fast path it replaces.
+  static std::size_t class_index(std::size_t bytes);
+
+  std::vector<std::vector<void*>> free_;  ///< class index -> cached blocks
+  Stats stats_;
+};
+
+}  // namespace irrlu::gpusim

@@ -10,6 +10,7 @@
 // Zero-padding V and T makes the fixed required panel width numerically
 // inert for matrices whose local panel is narrower.
 #include <algorithm>
+#include <string>
 
 #include "irrblas/dcwi.hpp"
 #include "irrblas/irr_kernels.hpp"
@@ -122,25 +123,35 @@ void irr_geqrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
   nb = std::max(1, nb);
 
   // Workspaces (fixed pointers for the whole factorization): V (m x nb per
-  // matrix), T (nb x nb), W1/W2 (nb x n).
+  // matrix), T (nb x nb), W1/W2 (nb x n) plus the per-matrix pointer and
+  // dimension arrays. All served from the device's reusable workspace
+  // cache keyed by stream: repeated irr_geqrf calls perform no allocation
+  // and — since the cached buffers outlive the enqueued kernels — need no
+  // trailing lifetime synchronization. The pointer/dimension fills below
+  // are recomputed every call (the cache only guarantees capacity).
   const auto bs = static_cast<std::size_t>(batch_size);
-  auto vbuf = dev.alloc<T>(bs * static_cast<std::size_t>(m) * nb);
-  auto tbuf = dev.alloc<T>(bs * static_cast<std::size_t>(nb) * nb);
-  auto w1buf = dev.alloc<T>(bs * static_cast<std::size_t>(nb) * n);
-  auto w2buf = dev.alloc<T>(bs * static_cast<std::size_t>(nb) * n);
-  auto vptr = dev.alloc<T*>(bs);
-  auto tptr = dev.alloc<T*>(bs);
-  auto w1ptr = dev.alloc<T*>(bs);
-  auto w2ptr = dev.alloc<T*>(bs);
-  auto ld_nb = dev.alloc<int>(bs);
-  auto ld_v = dev.alloc<int>(bs);
-  auto vec_nb = dev.alloc<int>(bs);
-  auto vec_n = dev.alloc<int>(bs);
+  const std::string sk = ".s" + std::to_string(stream.id());
+  T* vbuf = dev.workspace<T>("irrqr.v" + sk,
+                             bs * static_cast<std::size_t>(m) * nb);
+  T* tbuf = dev.workspace<T>("irrqr.t" + sk,
+                             bs * static_cast<std::size_t>(nb) * nb);
+  T* w1buf = dev.workspace<T>("irrqr.w1" + sk,
+                              bs * static_cast<std::size_t>(nb) * n);
+  T* w2buf = dev.workspace<T>("irrqr.w2" + sk,
+                              bs * static_cast<std::size_t>(nb) * n);
+  T** vptr = dev.workspace<T*>("irrqr.vp" + sk, bs);
+  T** tptr = dev.workspace<T*>("irrqr.tp" + sk, bs);
+  T** w1ptr = dev.workspace<T*>("irrqr.w1p" + sk, bs);
+  T** w2ptr = dev.workspace<T*>("irrqr.w2p" + sk, bs);
+  int* ld_nb = dev.workspace<int>("irrqr.ldnb" + sk, bs);
+  int* ld_v = dev.workspace<int>("irrqr.ldv" + sk, bs);
+  int* vec_nb = dev.workspace<int>("irrqr.vnb" + sk, bs);
+  int* vec_n = dev.workspace<int>("irrqr.vn" + sk, bs);
   for (std::size_t i = 0; i < bs; ++i) {
-    vptr[i] = vbuf.data() + i * static_cast<std::size_t>(m) * nb;
-    tptr[i] = tbuf.data() + i * static_cast<std::size_t>(nb) * nb;
-    w1ptr[i] = w1buf.data() + i * static_cast<std::size_t>(nb) * n;
-    w2ptr[i] = w2buf.data() + i * static_cast<std::size_t>(nb) * n;
+    vptr[i] = vbuf + i * static_cast<std::size_t>(m) * nb;
+    tptr[i] = tbuf + i * static_cast<std::size_t>(nb) * nb;
+    w1ptr[i] = w1buf + i * static_cast<std::size_t>(nb) * n;
+    w2ptr[i] = w2buf + i * static_cast<std::size_t>(nb) * n;
     ld_nb[i] = nb;
     ld_v[i] = m;
     vec_nb[i] = nb;
@@ -150,31 +161,28 @@ void irr_geqrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
   for (int j = 0; j < kmax; j += nb) {
     const int jb = std::min(nb, kmax - j);
     geqr2_fused<T>(dev, stream, m - j, jb, dA_array, ldda, j, j, m_vec,
-                   n_vec, tau_array, vptr.data(), m, tptr.data(),
-                   batch_size);
+                   n_vec, tau_array, vptr, m, tptr, batch_size);
     if (j + jb >= n) continue;
     const int nrest = n - j - jb;
     // W1 = V^T C  (rows of V clamp at m_loc via the k offset j).
     irr_gemm<T>(dev, stream, la::Trans::Yes, la::Trans::No, jb, nrest, m - j,
-                T(1), const_cast<T const* const*>(vptr.data()), ld_v.data(),
+                T(1), const_cast<T const* const*>(vptr), ld_v,
                 j, 0, const_cast<T const* const*>(dA_array), ldda, j, j + jb,
-                T(0), w1ptr.data(), ld_nb.data(), 0, 0, vec_nb.data(), n_vec,
+                T(0), w1ptr, ld_nb, 0, 0, vec_nb, n_vec,
                 m_vec, batch_size);
     // W2 = T^T W1.
     irr_gemm<T>(dev, stream, la::Trans::Yes, la::Trans::No, jb, nrest, jb,
-                T(1), const_cast<T const* const*>(tptr.data()), ld_nb.data(),
-                0, 0, const_cast<T const* const*>(w1ptr.data()),
-                ld_nb.data(), 0, 0, T(0), w2ptr.data(), ld_nb.data(), 0, 0,
-                vec_nb.data(), vec_n.data(), vec_nb.data(), batch_size);
+                T(1), const_cast<T const* const*>(tptr), ld_nb,
+                0, 0, const_cast<T const* const*>(w1ptr),
+                ld_nb, 0, 0, T(0), w2ptr, ld_nb, 0, 0,
+                vec_nb, vec_n, vec_nb, batch_size);
     // C -= V W2.
     irr_gemm<T>(dev, stream, la::Trans::No, la::Trans::No, m - j, nrest, jb,
-                T(-1), const_cast<T const* const*>(vptr.data()), ld_v.data(),
-                j, 0, const_cast<T const* const*>(w2ptr.data()),
-                ld_nb.data(), 0, 0, T(1), dA_array, ldda, j, j + jb,
-                m_vec, n_vec, vec_nb.data(), batch_size);
+                T(-1), const_cast<T const* const*>(vptr), ld_v,
+                j, 0, const_cast<T const* const*>(w2ptr),
+                ld_nb, 0, 0, T(1), dA_array, ldda, j, j + jb,
+                m_vec, n_vec, vec_nb, batch_size);
   }
-  // Workspace lifetime (as in irr_getrf's self-allocating mode).
-  dev.synchronize(stream);
 }
 
 #define IRRLU_INSTANTIATE_GEQRF(T)                                         \

@@ -43,20 +43,21 @@ void irr_getrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
   if (kmax <= 0) return;
   const int nb = std::max(1, opts.nb);
 
-  // Per-factorization device workspaces: caller-provided for the fully
-  // asynchronous mode, or allocated here (with a trailing sync to keep
-  // their lifetime safe — the paper's workspace-parameter discussion).
-  const bool own_ws =
-      opts.kmin_workspace == nullptr || opts.laswp_workspace == nullptr;
-  gpusim::DeviceBuffer<int> kmin_buf, laswp_buf;
+  // Per-factorization device workspaces: caller-provided, or served from
+  // the device's reusable workspace cache (keyed by stream, so concurrent
+  // streams never share scratch). The cached buffers live as long as the
+  // device, so the driver is fully asynchronous either way — only the
+  // first call on a stream (or a batch larger than any before) pays an
+  // allocation; repeated per-group calls stop allocating at all.
   int* kmin_ws = opts.kmin_workspace;
   int* laswp_ws = opts.laswp_workspace;
-  if (own_ws) {
-    kmin_buf = dev.alloc<int>(static_cast<std::size_t>(batch_size));
-    laswp_buf = dev.alloc<int>(irr_laswp_workspace_size(batch_size, nb));
-    kmin_ws = kmin_buf.data();
-    laswp_ws = laswp_buf.data();
-  }
+  if (kmin_ws == nullptr)
+    kmin_ws = dev.workspace<int>("irrlu.kmin.s" + std::to_string(stream.id()),
+                                 static_cast<std::size_t>(batch_size));
+  if (laswp_ws == nullptr)
+    laswp_ws =
+        dev.workspace<int>("irrlu.laswp.s" + std::to_string(stream.id()),
+                           irr_laswp_workspace_size(batch_size, nb));
   setup_kmin(dev, stream, m_vec, n_vec, kmin_ws, batch_size);
 
   for (int j = 0; j < kmax; j += nb) {
@@ -124,10 +125,6 @@ void irr_getrf(gpusim::Device& dev, gpusim::Stream& stream, int m, int n,
       }
     }
   }
-  // Internally-owned workspaces die here; block until the device is done
-  // using them. With caller-provided workspaces the driver stays fully
-  // asynchronous.
-  if (own_ws) dev.synchronize(stream);
 }
 
 template <typename T>

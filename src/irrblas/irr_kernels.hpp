@@ -143,8 +143,10 @@ inline std::size_t irr_laswp_workspace_size(int batch_size, int jb) {
 /// realistic pivoting, slightly slower in the all-diagonal corner case,
 /// exactly as the paper discusses. `workspace` must hold
 /// irr_laswp_workspace_size(batch_size, jb) ints; if null, the routine
-/// allocates one internally (which breaks asynchronicity — the paper's
-/// motivation for exposing the parameter).
+/// draws one from the device's per-stream workspace cache
+/// (Device::workspace), which allocates on first use only and keeps the
+/// call fully asynchronous. The explicit parameter remains the way to
+/// share one workspace across routines (as irr_getrf's driver does).
 template <typename T>
 void irr_laswp(gpusim::Device& dev, gpusim::Stream& stream, int j, int jb,
                T* const* dA_array, const int* ldda, const int* m_vec,
@@ -177,10 +179,12 @@ struct IrrLuOptions {
   /// with LaswpMethod::kRehearsal.
   gpusim::Stream* laswp_aux_stream = nullptr;
 
-  /// Caller-provided device workspaces (optional). When both are set the
-  /// driver performs no allocation and no trailing synchronization — the
-  /// fully asynchronous mode the paper's interface discussion §IV-F calls
-  /// for. kmin_workspace needs batch_size ints; laswp_workspace needs
+  /// Caller-provided device workspaces (optional). When set the driver
+  /// performs no allocation at all; when null it draws per-stream scratch
+  /// from the device's workspace cache, allocating only on the first call
+  /// (or a larger batch) — either way the driver is fully asynchronous,
+  /// with no trailing synchronization (the paper's interface discussion
+  /// §IV-F). kmin_workspace needs batch_size ints; laswp_workspace needs
   /// irr_laswp_workspace_size(batch_size, nb) ints.
   int* kmin_workspace = nullptr;
   int* laswp_workspace = nullptr;

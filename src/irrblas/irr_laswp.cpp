@@ -193,16 +193,15 @@ void irr_laswp(gpusim::Device& dev, gpusim::Stream& stream, int j, int jb,
                  ipiv_array, batch_size);
     return;
   }
-  gpusim::DeviceBuffer<int> internal;
   int* ws = workspace;
   if (ws == nullptr) {
-    // On-the-fly allocation: legal but serializing (see header).
-    internal = dev.alloc<int>(irr_laswp_workspace_size(batch_size, jb));
-    ws = internal.data();
+    // Served from the device's workspace cache: allocation-free after the
+    // first call on this stream, no lifetime sync needed (see header).
+    ws = dev.workspace<int>("irrlaswp.s" + std::to_string(stream.id()),
+                            irr_laswp_workspace_size(batch_size, jb));
   }
   laswp_rehearsal(dev, stream, j, jb, dA_array, ldda, m_vec, n_vec,
                   ipiv_array, batch_size, ws);
-  if (internal.data() != nullptr) dev.synchronize(stream);
 }
 
 template <typename T>
@@ -212,11 +211,12 @@ void irr_laswp_dual(gpusim::Device& dev, gpusim::Stream& main,
                     int const* const* ipiv_array, int batch_size,
                     int* workspace) {
   if (batch_size <= 0 || jb <= 0) return;
-  gpusim::DeviceBuffer<int> internal;
   int* ws = workspace;
   if (ws == nullptr) {
-    internal = dev.alloc<int>(irr_laswp_workspace_size(batch_size, jb));
-    ws = internal.data();
+    // Keyed by the main stream: the aux stream only reads the rehearsal
+    // output after the event fence below.
+    ws = dev.workspace<int>("irrlaswp.s" + std::to_string(main.id()),
+                            irr_laswp_workspace_size(batch_size, jb));
   }
   laswp_rehearse_kernel<T>(dev, main, j, jb, m_vec, n_vec, ipiv_array,
                            batch_size, ws);
@@ -229,7 +229,6 @@ void irr_laswp_dual(gpusim::Device& dev, gpusim::Stream& main,
                        batch_size, ws, MoveRange::kRightOnly);
   // Re-join: subsequent work on the main stream sees both halves done.
   dev.wait(main, dev.record(aux));
-  if (internal.data() != nullptr) dev.synchronize(main);
 }
 
 #define IRRLU_INSTANTIATE_LASWP(T)                                          \

@@ -251,11 +251,118 @@ void gemv_unit(Trans trans, int m, int n, T alpha, const T* a, int lda,
   }
 }
 
+namespace {
+
+/// NC right-hand-side columns of the order-M triangle solved together in
+/// stack arrays with constant-bound loops the compiler unrolls flat. The
+/// NC solves are independent dependency chains, so the divides and axpys
+/// interleave for ILP the one-column form cannot reach. Per-element
+/// arithmetic (divide-then-axpy, triangle columns ascending for lower /
+/// descending for upper) matches the generic right-looking loop exactly,
+/// so results are bit-identical to it.
+template <int M, int NC, typename T>
+void trsm_tiny_cols(bool lower, bool unit, const T* tri, T* b, int ldb) {
+  T x[NC][M];
+  for (int c = 0; c < NC; ++c) {
+    const T* __restrict bc = b + static_cast<std::ptrdiff_t>(c) * ldb;
+    for (int i = 0; i < M; ++i) x[c][i] = bc[i];
+  }
+  auto col_step = [&](int j, int i_begin, int i_end) {
+    if (!unit) {
+      const T d = tri[j * M + j];
+      for (int c = 0; c < NC; ++c) x[c][j] /= d;
+    }
+    T xj[NC];
+    for (int c = 0; c < NC; ++c) xj[c] = x[c][j];
+    for (int i = i_begin; i < i_end; ++i) {
+      const T ai = tri[j * M + i];
+      for (int c = 0; c < NC; ++c) x[c][i] -= ai * xj[c];
+    }
+  };
+  if (lower) {
+    for (int j = 0; j < M; ++j) col_step(j, j + 1, M);
+  } else {
+    for (int j = M - 1; j >= 0; --j) col_step(j, 0, j);
+  }
+  for (int c = 0; c < NC; ++c) {
+    T* __restrict bc = b + static_cast<std::ptrdiff_t>(c) * ldb;
+    for (int i = 0; i < M; ++i) bc[i] = x[c][i];
+  }
+}
+
+/// Fully-unrolled substitution for triangles of compile-time order M
+/// (Trans::No only): the triangle is staged once into a contiguous stack
+/// tile shared by all right-hand sides, then solved four columns at a
+/// time (remainders at 1-3 columns).
+template <int M, typename T>
+void trsm_left_tiny(bool lower, bool unit, const T* a, int lda, T* b,
+                    int ldb, int n) {
+  T tri[M * M];
+  for (int j = 0; j < M; ++j) {
+    const T* __restrict col = a + static_cast<std::ptrdiff_t>(j) * lda;
+    for (int i = 0; i < M; ++i) tri[j * M + i] = col[i];
+  }
+  int c = 0;
+  for (; c + 4 <= n; c += 4)
+    trsm_tiny_cols<M, 4>(lower, unit, tri,
+                         b + static_cast<std::ptrdiff_t>(c) * ldb, ldb);
+  switch (n - c) {
+    case 3:
+      trsm_tiny_cols<M, 3>(lower, unit, tri,
+                           b + static_cast<std::ptrdiff_t>(c) * ldb, ldb);
+      break;
+    case 2:
+      trsm_tiny_cols<M, 2>(lower, unit, tri,
+                           b + static_cast<std::ptrdiff_t>(c) * ldb, ldb);
+      break;
+    case 1:
+      trsm_tiny_cols<M, 1>(lower, unit, tri,
+                           b + static_cast<std::ptrdiff_t>(c) * ldb, ldb);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Order-dispatch for the tiny kernels; returns false above the cutoff.
+template <typename T>
+bool trsm_left_tiny_dispatch(bool lower, bool unit, int m, int n, const T* a,
+                             int lda, T* b, int ldb) {
+  switch (m) {
+    case 1: trsm_left_tiny<1>(lower, unit, a, lda, b, ldb, n); return true;
+    case 2: trsm_left_tiny<2>(lower, unit, a, lda, b, ldb, n); return true;
+    case 3: trsm_left_tiny<3>(lower, unit, a, lda, b, ldb, n); return true;
+    case 4: trsm_left_tiny<4>(lower, unit, a, lda, b, ldb, n); return true;
+    case 5: trsm_left_tiny<5>(lower, unit, a, lda, b, ldb, n); return true;
+    case 6: trsm_left_tiny<6>(lower, unit, a, lda, b, ldb, n); return true;
+    case 7: trsm_left_tiny<7>(lower, unit, a, lda, b, ldb, n); return true;
+    case 8: trsm_left_tiny<8>(lower, unit, a, lda, b, ldb, n); return true;
+    case 9: trsm_left_tiny<9>(lower, unit, a, lda, b, ldb, n); return true;
+    case 10: trsm_left_tiny<10>(lower, unit, a, lda, b, ldb, n); return true;
+    case 11: trsm_left_tiny<11>(lower, unit, a, lda, b, ldb, n); return true;
+    case 12: trsm_left_tiny<12>(lower, unit, a, lda, b, ldb, n); return true;
+    case 13: trsm_left_tiny<13>(lower, unit, a, lda, b, ldb, n); return true;
+    case 14: trsm_left_tiny<14>(lower, unit, a, lda, b, ldb, n); return true;
+    case 15: trsm_left_tiny<15>(lower, unit, a, lda, b, ldb, n); return true;
+    case 16: trsm_left_tiny<16>(lower, unit, a, lda, b, ldb, n); return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
 template <typename T>
 void trsm_left_small(Uplo uplo, Trans trans, Diag diag, int m, int n,
                      const T* a, int lda, T* b, int ldb) {
   const bool lower = (uplo == Uplo::Lower) == (trans == Trans::No);
   const bool unit = diag == Diag::Unit;
+  // Triangles up to order 16 (the dominant case: la::trsm's on-diagonal
+  // blocks and the multifrontal leaf fronts) go through the unrolled
+  // fixed-size kernels. Trans::Yes keeps the generic left-looking loop
+  // below (its row dots are already contiguous).
+  if (trans == Trans::No && m > 0 &&
+      trsm_left_tiny_dispatch(lower, unit, m, n, a, lda, b, ldb))
+    return;
   // Process the right-hand sides four columns at a time so every triangle
   // element loaded is used four times.
   for (int c0 = 0; c0 < n; c0 += 4) {

@@ -82,10 +82,14 @@ void gemv_unit(Trans trans, int m, int n, T alpha, const T* a, int lda,
                const T* x, T beta, T* y);
 
 /// Small-triangle substitution solve op(A) X = B with alpha already
-/// applied: the base case of the blocked trsm. Loop orders are chosen so
-/// the stored triangle is always read contiguously (right-looking axpy
-/// for Trans::No, left-looking row dots for Trans::Yes) and four
-/// right-hand-side columns share each triangle load.
+/// applied: the base case of the blocked trsm. Triangles of order <= 16
+/// with Trans::No dispatch to fully-unrolled fixed-size forward/back-
+/// substitution kernels (the triangle staged once into a contiguous
+/// stack tile, each rhs solved in registers) with bit-identical results;
+/// larger orders and Trans::Yes use generic loops whose orders keep the
+/// stored triangle contiguous (right-looking axpy for Trans::No,
+/// left-looking row dots for Trans::Yes) with four right-hand-side
+/// columns sharing each triangle load.
 template <typename T>
 void trsm_left_small(Uplo uplo, Trans trans, Diag diag, int m, int n,
                      const T* a, int lda, T* b, int ldb);

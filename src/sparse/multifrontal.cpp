@@ -242,28 +242,29 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     for (int g = sym.fronts[fi].sep_begin; g < sym.fronts[fi].sep_end; ++g)
       owner[static_cast<std::size_t>(g)] = static_cast<int>(fi);
 
-  auto local_of = [&](const Front& fr, int g) {
-    if (g >= fr.sep_begin && g < fr.sep_end) return g - fr.sep_begin;
-    const auto it = std::lower_bound(fr.upd.begin(), fr.upd.end(), g);
-    IRRLU_CHECK(it != fr.upd.end() && *it == g);
-    return fr.s() + static_cast<int>(it - fr.upd.begin());
-  };
-
-  // Flattened (front -> entries) assembly triples.
-  std::vector<std::vector<int>> rows_of(nf), cols_of(nf), aidx_of(nf);
+  // Flattened (front -> entries) assembly triples, CSR-style: asm_start
+  // segments d_rows/d_cols/d_aidx by owning front. Built in three counted
+  // passes with no per-entry search and no per-front growing vectors:
+  //  1. count each front's entries (recording the owner per nonzero);
+  //  2. scatter the *global* (row, col, value-index) triples into the
+  //     segmented arrays through per-front cursors;
+  //  3. per front, convert the globals to front-local indices through a
+  //     global->local map filled once per front (the `stamp` array makes
+  //     membership checkable, replacing the old per-entry binary search
+  //     through fr.upd).
+  const std::size_t nnz = a_perm.ind().size();
+  std::vector<int> ent_front(nnz);
+  std::vector<int> asm_start(nf + 1, 0);
   for (int i = 0; i < n; ++i)
     for (int k = a_perm.ptr()[static_cast<std::size_t>(i)];
          k < a_perm.ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
       const int j = a_perm.ind()[static_cast<std::size_t>(k)];
       const int fo = owner[static_cast<std::size_t>(std::min(i, j))];
-      const Front& fr = sym.fronts[static_cast<std::size_t>(fo)];
-      rows_of[static_cast<std::size_t>(fo)].push_back(local_of(fr, i));
-      cols_of[static_cast<std::size_t>(fo)].push_back(local_of(fr, j));
-      aidx_of[static_cast<std::size_t>(fo)].push_back(k);
+      IRRLU_CHECK(fo >= 0);
+      ent_front[static_cast<std::size_t>(k)] = fo;
+      ++asm_start[static_cast<std::size_t>(fo) + 1];
     }
-  std::vector<int> asm_start(nf + 1, 0);
-  for (std::size_t fi = 0; fi < nf; ++fi)
-    asm_start[fi + 1] = asm_start[fi] + static_cast<int>(rows_of[fi].size());
+  for (std::size_t fi = 0; fi < nf; ++fi) asm_start[fi + 1] += asm_start[fi];
   gpusim::DeviceBuffer<int> d_rows, d_cols, d_aidx;
   {
     IRRLU_TRACE_SCOPE(dev.tracer(), "assembly");
@@ -271,12 +272,43 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     d_cols = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
     d_aidx = dev.alloc<int>(static_cast<std::size_t>(asm_start[nf]));
   }
-  for (std::size_t fi = 0, o = 0; fi < nf; ++fi)
-    for (std::size_t e = 0; e < rows_of[fi].size(); ++e, ++o) {
-      d_rows[o] = rows_of[fi][e];
-      d_cols[o] = cols_of[fi][e];
-      d_aidx[o] = aidx_of[fi][e];
+  std::vector<int> cursor(asm_start.begin(), asm_start.end() - 1);
+  for (int i = 0; i < n; ++i)
+    for (int k = a_perm.ptr()[static_cast<std::size_t>(i)];
+         k < a_perm.ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto o = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(ent_front[static_cast<std::size_t>(
+              k)])]++);
+      d_rows[o] = i;
+      d_cols[o] = a_perm.ind()[static_cast<std::size_t>(k)];
+      d_aidx[o] = k;
     }
+  {
+    std::vector<int> glob2loc(static_cast<std::size_t>(n), -1);
+    std::vector<int> stamp(static_cast<std::size_t>(n), -1);
+    for (std::size_t fi = 0; fi < nf; ++fi) {
+      const Front& fr = sym.fronts[fi];
+      const int s = fr.s();
+      for (int g = fr.sep_begin; g < fr.sep_end; ++g) {
+        glob2loc[static_cast<std::size_t>(g)] = g - fr.sep_begin;
+        stamp[static_cast<std::size_t>(g)] = static_cast<int>(fi);
+      }
+      for (std::size_t t = 0; t < fr.upd.size(); ++t) {
+        const auto g = static_cast<std::size_t>(fr.upd[t]);
+        glob2loc[g] = s + static_cast<int>(t);
+        stamp[g] = static_cast<int>(fi);
+      }
+      for (auto o = static_cast<std::size_t>(asm_start[fi]);
+           o < static_cast<std::size_t>(asm_start[fi + 1]); ++o) {
+        IRRLU_CHECK(stamp[static_cast<std::size_t>(d_rows[o])] ==
+                        static_cast<int>(fi) &&
+                    stamp[static_cast<std::size_t>(d_cols[o])] ==
+                        static_cast<int>(fi));
+        d_rows[o] = glob2loc[static_cast<std::size_t>(d_rows[o])];
+        d_cols[o] = glob2loc[static_cast<std::size_t>(d_cols[o])];
+      }
+    }
+  }
   gpusim::DeviceBuffer<double> d_aval;
   {
     IRRLU_TRACE_SCOPE(dev.tracer(), "assembly");
@@ -306,9 +338,6 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   const int* smap = d_scat.data();
 
   // ---- reusable per-group kernels --------------------------------------
-  const int* astart_host = asm_start.data();
-  (void)astart_host;
-
   // Zero + assemble-from-A the given fronts (their storage must be live).
   auto assemble = [&](const std::vector<int>& ids) {
     if (ids.empty()) return;

@@ -1,6 +1,7 @@
 #include "trace/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -83,6 +84,16 @@ void print_report(std::ostream& out, const Tracer& tracer,
   if (tracer.dropped_launches() > 0)
     out << "(" << tracer.dropped_launches()
         << " launches dropped at the trace cap)\n";
+  // Named counters (factor.*, pool.*, memory.*) — the same object the
+  // summary JSON's "counters" carries.
+  if (!tracer.counters().empty()) {
+    out << "\ncounters:\n";
+    char buf[64];
+    for (const auto& [name, value] : tracer.counters()) {
+      std::snprintf(buf, sizeof buf, "%.12g", value);
+      out << "  " << name << " = " << buf << "\n";
+    }
+  }
   if (!tracer.mem_events().empty() || !tracer.mem_tags().empty())
     print_memory_report(out, tracer);
 }

@@ -1,0 +1,289 @@
+// Tests for the size-class slab pool behind Device::alloc and the named
+// workspace cache (DESIGN.md §10): class geometry, block reuse and
+// alignment, accounting under interleaved stress, the pool-on/pool-off
+// simulated-timeline identity, and the trace counters the pool emits.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/mem_pool.hpp"
+#include "irrblas/irr_kernels.hpp"
+#include "irrblas/vbatch.hpp"
+#include "trace/trace.hpp"
+
+using namespace irrlu::batch;
+using irrlu::Rng;
+using irrlu::gpusim::Device;
+using irrlu::gpusim::DeviceModel;
+using irrlu::gpusim::MemPool;
+
+namespace {
+
+bool aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t) == 0;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- size classes
+
+TEST(MemPoolClass, CoversRequestAndBoundsWaste) {
+  std::size_t prev = 0;
+  for (std::size_t b :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{100}, std::size_t{1000}, std::size_t{4096},
+        std::size_t{65536}, (std::size_t{1} << 20) - 1, std::size_t{1} << 20,
+        (std::size_t{1} << 20) + 1, std::size_t{3} << 20,
+        (std::size_t{1} << 22) + 123, std::size_t{1} << 28}) {
+    const std::size_t cls = MemPool::class_size(b);
+    EXPECT_GE(cls, b) << b;                        // covers the request
+    EXPECT_GE(cls, MemPool::class_size(1));        // never below min class
+    EXPECT_GE(cls, prev) << b;                     // monotone in the request
+    prev = cls;
+    if (b <= (std::size_t{1} << 20))
+      EXPECT_LT(cls, 2 * b + 64) << b;  // pow2 region: < 2x waste
+    else
+      EXPECT_LE(cls - b, b / 4) << b;  // quarter steps: <= 25% waste
+  }
+  // Exact powers of two are their own class on both sides of the 1 MiB
+  // boundary — no rounding up to the next class.
+  EXPECT_EQ(MemPool::class_size(std::size_t{1} << 15), std::size_t{1} << 15);
+  EXPECT_EQ(MemPool::class_size(std::size_t{1} << 23), std::size_t{1} << 23);
+  // A request one past a class lands in the next one.
+  EXPECT_GT(MemPool::class_size((std::size_t{1} << 23) + 1),
+            std::size_t{1} << 23);
+}
+
+// --------------------------------------------------------- reuse + stats
+
+TEST(MemPool, ReusesBlockOfSameClass) {
+  MemPool pool;
+  bool hit = true;
+  void* a = pool.acquire(1000, &hit);  // class 1024
+  EXPECT_FALSE(hit);
+  ASSERT_NE(a, nullptr);
+  pool.release(a, 1000);
+  EXPECT_EQ(pool.stats().held_blocks, 1u);
+  EXPECT_EQ(pool.stats().held_bytes, 1024u);
+
+  // 900 B rounds to the same 1024 B class: the exact block comes back.
+  void* b = pool.acquire(900, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.stats().hits, 1);
+  EXPECT_EQ(pool.stats().misses, 1);
+  EXPECT_EQ(pool.stats().bytes_served, 900u);
+  EXPECT_EQ(pool.stats().held_blocks, 0u);
+
+  // A different class misses even with a block cached elsewhere.
+  pool.release(b, 900);
+  void* c = pool.acquire(5000, &hit);  // class 8192
+  EXPECT_FALSE(hit);
+  EXPECT_NE(c, b);
+  pool.release(c, 5000);
+  EXPECT_EQ(pool.stats().held_blocks, 2u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().held_blocks, 0u);
+  EXPECT_EQ(pool.stats().held_bytes, 0u);
+}
+
+TEST(MemPool, BlocksAreMaxAlignedIncludingReused) {
+  MemPool pool;
+  std::vector<std::pair<void*, std::size_t>> live;
+  for (std::size_t bytes : {1u, 7u, 65u, 333u, 1025u, 40000u}) {
+    void* p = pool.acquire(bytes);
+    EXPECT_TRUE(aligned(p)) << bytes;
+    live.emplace_back(p, bytes);
+  }
+  for (auto& [p, bytes] : live) pool.release(p, bytes);
+  for (std::size_t bytes : {1u, 7u, 65u, 333u, 1025u, 40000u}) {
+    bool hit = false;
+    void* p = pool.acquire(bytes, &hit);
+    EXPECT_TRUE(hit) << bytes;
+    EXPECT_TRUE(aligned(p)) << bytes;
+    pool.release(p, bytes);
+  }
+}
+
+TEST(MemPool, InterleavedStressKeepsBlocksIntactAndAccountsToZero) {
+  MemPool pool;
+  Rng rng(1234);
+  struct Live {
+    unsigned char* p;
+    std::size_t bytes;
+    unsigned char pattern;
+  };
+  std::vector<Live> live;
+  long acquires = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const bool grow = live.empty() || (live.size() < 64 &&
+                                       rng.uniform_int(0, 99) < 55);
+    if (grow) {
+      // Size range straddles several classes on both sides of 1 MiB.
+      const std::size_t bytes = static_cast<std::size_t>(
+          rng.uniform_int(1, 2'200'000));
+      auto* p = static_cast<unsigned char*>(pool.acquire(bytes));
+      ++acquires;
+      const auto pattern =
+          static_cast<unsigned char>(rng.uniform_int(1, 255));
+      // Touch first/last byte of the *request* (the class may be larger):
+      // catches classes smaller than the request and recycled blocks that
+      // alias a live one.
+      p[0] = pattern;
+      p[bytes - 1] = pattern;
+      live.push_back({p, bytes, pattern});
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      EXPECT_EQ(live[idx].p[0], live[idx].pattern);
+      EXPECT_EQ(live[idx].p[live[idx].bytes - 1], live[idx].pattern);
+      pool.release(live[idx].p, live[idx].bytes);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, acquires);
+  EXPECT_GT(pool.stats().hits, 0);  // the stress actually recycled
+  for (auto& l : live) {
+    EXPECT_EQ(l.p[0], l.pattern);
+    EXPECT_EQ(l.p[l.bytes - 1], l.pattern);
+    pool.release(l.p, l.bytes);
+  }
+  pool.trim();
+  EXPECT_EQ(pool.stats().held_blocks, 0u);
+  EXPECT_EQ(pool.stats().held_bytes, 0u);
+}
+
+// ----------------------------------------------------- device integration
+
+TEST(PoolDevice, HeldBlocksAreNotLeaksAndDestructionIsClean) {
+  // Dropped buffers go to the free lists, not back to the system: device
+  // accounting reaches zero while the pool still holds capacity. The
+  // destructor (leak check included in debug builds) must see no live
+  // allocation — cached blocks are not leaks.
+  Device dev(DeviceModel::a100());
+  ASSERT_TRUE(dev.pool_enabled());
+  {
+    auto b1 = dev.alloc<double>(1000);
+    auto b2 = dev.alloc<int>(512);
+    EXPECT_GT(dev.bytes_in_use(), 0u);
+  }
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+  EXPECT_GT(dev.pool_stats().held_blocks, 0u);
+  EXPECT_GT(dev.pool_stats().held_bytes, 0u);
+  dev.pool_trim();
+  EXPECT_EQ(dev.pool_stats().held_blocks, 0u);
+}
+
+TEST(PoolDevice, ReuseReducesHostAllocsButNotSimEvents) {
+  Device dev(DeviceModel::a100());
+  { auto b = dev.alloc<double>(4096); }
+  EXPECT_EQ(dev.alloc_count(), 1);
+  EXPECT_EQ(dev.host_alloc_count(), 1);
+  const double t_after_first = dev.host_time();
+  { auto b = dev.alloc<double>(4096); }  // same class: pool hit
+  EXPECT_EQ(dev.alloc_count(), 2);       // still a simulated alloc event
+  EXPECT_EQ(dev.host_alloc_count(), 1);  // but no new host malloc
+  EXPECT_EQ(dev.pool_stats().hits, 1);
+  // The hit charged the same simulated alloc_overhead as the miss.
+  EXPECT_DOUBLE_EQ(dev.host_time() - t_after_first, t_after_first);
+}
+
+TEST(PoolDevice, SimulatedRunIsByteIdenticalPoolOnOff) {
+  // The full irrLU driver on an irregular batch, run twice — the only
+  // difference is the pool flag. Everything simulated and every numeric
+  // result must match bitwise; only the host malloc count may differ.
+  auto run = [](bool pool, std::vector<double>& out, long& host_allocs,
+                double& host_time, long& launches, long& syncs,
+                std::size_t& peak) {
+    Device dev(DeviceModel::a100(), pool);
+    Rng rng(77);
+    const int bs = 12;
+    auto n = rng.uniform_sizes(bs, 1, 48);
+    for (int round = 0; round < 2; ++round) {
+      VBatch<double> A(dev, n);
+      A.fill_uniform(rng);
+      PivotBatch piv(dev, n, n);
+      irr_getrf<double>(dev, dev.stream(), 48, 48, A.ptrs(), A.lda(), 0, 0,
+                        A.m_vec(), A.n_vec(), piv.ptrs(), piv.info(), bs);
+      dev.synchronize_all();
+      for (int i = 0; i < bs; ++i) {
+        auto v = A.view(i);
+        for (int j = 0; j < v.cols(); ++j)
+          for (int r = 0; r < v.rows(); ++r) out.push_back(v(r, j));
+      }
+    }
+    host_allocs = dev.host_alloc_count();
+    host_time = dev.host_time();
+    launches = dev.launch_count();
+    syncs = dev.sync_count();
+    peak = dev.peak_bytes();
+  };
+  std::vector<double> on_vals, off_vals;
+  long on_host = 0, off_host = 0, on_l = 0, off_l = 0, on_s = 0, off_s = 0;
+  double on_t = 0, off_t = 0;
+  std::size_t on_p = 0, off_p = 0;
+  run(true, on_vals, on_host, on_t, on_l, on_s, on_p);
+  run(false, off_vals, off_host, off_t, off_l, off_s, off_p);
+
+  EXPECT_EQ(on_t, off_t);  // bitwise: same simulated timeline
+  EXPECT_EQ(on_l, off_l);
+  EXPECT_EQ(on_s, off_s);
+  EXPECT_EQ(on_p, off_p);
+  ASSERT_EQ(on_vals.size(), off_vals.size());
+  EXPECT_EQ(0, std::memcmp(on_vals.data(), off_vals.data(),
+                           on_vals.size() * sizeof(double)));
+  // Round 2 recycled round 1's buffers: strictly fewer host mallocs.
+  EXPECT_LT(on_host, off_host);
+}
+
+TEST(PoolDevice, CountersAppearInTrace) {
+  Device dev(DeviceModel::a100());
+  irrlu::trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  { auto b = dev.alloc<double>(2048); }
+  { auto b = dev.alloc<double>(2048); }  // hit
+  dev.set_tracer(nullptr);
+  const auto& c = tracer.counters();
+  ASSERT_TRUE(c.count("pool.hits"));
+  ASSERT_TRUE(c.count("pool.misses"));
+  ASSERT_TRUE(c.count("pool.bytes_served"));
+  EXPECT_EQ(c.at("pool.hits"), 1.0);
+  EXPECT_EQ(c.at("pool.misses"), 1.0);
+  EXPECT_EQ(c.at("pool.bytes_served"), 2048.0 * sizeof(double));
+}
+
+// -------------------------------------------------------- workspace cache
+
+TEST(WorkspaceCache, HitReturnsSamePointerAtZeroSimCost) {
+  Device dev(DeviceModel::a100());
+  double* w1 = dev.workspace<double>("test.ws", 100);
+  ASSERT_NE(w1, nullptr);
+  const double t1 = dev.host_time();
+  EXPECT_GT(t1, 0.0);  // the first request paid alloc_overhead
+  double* w2 = dev.workspace<double>("test.ws", 60);  // smaller: hit
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(dev.host_time(), t1);  // a hit is free on the sim timeline
+  EXPECT_EQ(dev.workspace_count(), 1u);
+
+  // A larger request grows geometrically (>= 2x) and pays again.
+  double* w3 = dev.workspace<double>("test.ws", 150);
+  EXPECT_GT(dev.host_time(), t1);
+  EXPECT_GE(dev.bytes_in_use(), 200 * sizeof(double));  // 2x growth floor
+  // ... and the grown buffer is sticky.
+  EXPECT_EQ(dev.workspace<double>("test.ws", 200), w3);
+
+  // Distinct keys are distinct buffers.
+  double* other = dev.workspace<double>("test.other", 10);
+  EXPECT_NE(other, w3);
+  EXPECT_EQ(dev.workspace_count(), 2u);
+
+  dev.release_workspaces();
+  EXPECT_EQ(dev.workspace_count(), 0u);
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+}

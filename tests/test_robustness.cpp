@@ -267,7 +267,8 @@ TEST(SolverRegression, Mc64FallbackDoesNotMutateOptions) {
   // must still apply MC64 — the old code permanently flipped use_mc64.
   const CsrMatrix bad = CsrMatrix::from_triplets(
       3, {{0, 0, 1.0}, {1, 1, 0.0}, {1, 0, 0.0}, {2, 2, 2.0}});
-  SparseDirectSolver solver;  // use_mc64 = true
+  Device dev(DeviceModel::a100());  // outlives the solver's device buffers
+  SparseDirectSolver solver;        // use_mc64 = true
   solver.analyze(bad);
   EXPECT_FALSE(solver.mc64_active());
 
@@ -275,7 +276,6 @@ TEST(SolverRegression, Mc64FallbackDoesNotMutateOptions) {
   // because the unscaled path would still solve it — check the flag.
   solver.analyze(laplacian2d(5, 5));
   EXPECT_TRUE(solver.mc64_active());
-  Device dev(DeviceModel::a100());
   solver.factor(dev);
   const auto b = random_rhs(25, 31);
   const SolveReport rep = solver.solve_report(b);
