@@ -211,4 +211,61 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 // does not reduce host_allocs); ctest runs it as bench_factor_smoke.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// BENCH_service.json schema (written by bench/bench_service, schema id
+// "irrlu-bench-service-v1"): the solver-service layer — interleaved
+// many-RHS solve vs sequential solves, and a replay stream through the
+// pattern-keyed symbolic/factor cache. Top level:
+//
+//   {
+//     "schema":  "irrlu-bench-service-v1",
+//     "device":  DeviceModel name,
+//     "n":       dimension of the many-RHS Maxwell system,
+//     "manyrhs": [ <width>, ... ],
+//     "replay":  { ... }
+//   }
+//
+// Each <width> compares one batch size on one shared factorization:
+//
+//   nrhs                         right-hand sides in the batch
+//   seq_sim_s, batched_sim_s     simulated device seconds of nrhs
+//                                sequential solve_report() calls vs one
+//                                solve_report_many() (deterministic)
+//   speedup                      seq_sim_s / batched_sim_s; asserted
+//                                >= 2 at nrhs >= 64
+//   seq_wall_s, batched_wall_s   host wall clock (report only)
+//   seq_launches, batched_launches
+//                                device launches per phase: per-RHS-per-
+//                                level vs per-level
+//   statuses_match               per-request SolveStatus identical across
+//                                the two paths (asserted)
+//   max_berr                     worst componentwise backward error of the
+//                                interleaved path
+//
+// "replay" summarizes the request stream through SolverService (three
+// tenants, three sparsity patterns, values perturbed between same-pattern
+// requests, flush window 8):
+//
+//   requests, patterns, flushes  stream shape
+//   analyze_runs                 symbolic analyses executed — asserted
+//                                == patterns (each analyzed exactly once)
+//   symbolic_hits, hit_rate      requests that skipped analyze();
+//                                hit_rate asserted >= 0.8
+//   factors, refactors, factor_reuses
+//                                fresh / same-pattern-new-values /
+//                                same-values factorization outcomes
+//   batches, batched_rhs         interleaved sweeps issued and the RHS
+//                                they carried
+//   evictions, rejected          cache evictions, admission rejections
+//   factor_bits_identical        cached-refactor factor store bitwise
+//                                equal to an uncached twin (asserted; the
+//                                replay disables MC64, whose scaling is
+//                                values-dependent by design)
+//   wall_s                       host wall clock of all flushes (report
+//                                only)
+//
+// The driver exits nonzero when any asserted invariant fails; ctest runs
+// it as bench_service_smoke.
+// ---------------------------------------------------------------------------
+
 }  // namespace irrlu::bench

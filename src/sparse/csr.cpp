@@ -188,6 +188,33 @@ double CsrMatrix::at(int i, int j) const {
   return 0.0;
 }
 
+namespace {
+
+/// FNV-1a over a span of 32-bit words (hashing the ints themselves, not
+/// their byte layout, keeps the result independent of endianness).
+std::uint64_t fnv1a_words(std::uint64_t h, const int* words, std::size_t n) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(words[i]));
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t CsrMatrix::pattern_hash() const {
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ull;
+  std::uint64_t h = fnv1a_words(kBasis, &n_, 1);
+  h = fnv1a_words(h, ptr_.data(), ptr_.size());
+  h = fnv1a_words(h, ind_.data(), ind_.size());
+  return h;
+}
+
+bool CsrMatrix::same_pattern(const CsrMatrix& other) const {
+  return n_ == other.n_ && ptr_ == other.ptr_ && ind_ == other.ind_;
+}
+
 CsrMatrix laplacian2d(int nx, int ny, double shift) {
   std::vector<std::tuple<int, int, double>> t;
   auto id = [&](int x, int y) { return y * nx + x; };

@@ -2,6 +2,7 @@
 // direct solver pipeline needs (§III-A: P (Dr A Dc Q) P^T = L U).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
@@ -67,6 +68,20 @@ class CsrMatrix {
 
   /// Entry lookup (binary search within the row); 0 if not present.
   double at(int i, int j) const;
+
+  /// Values-independent, order-stable 64-bit hash of the sparsity pattern:
+  /// FNV-1a over (n, ptr, ind). Two matrices with the same structure hash
+  /// identically whatever their values (the refactor cache key of the
+  /// solver service); any structural change — dimension, row lengths,
+  /// column indices — changes the hash with overwhelming probability.
+  /// "Order-stable" because CSR structure is canonical here: from_triplets
+  /// sorts within rows, so insertion order never leaks into the hash.
+  std::uint64_t pattern_hash() const;
+
+  /// Exact structural equality (same n, ptr, ind) — the collision-proof
+  /// check a pattern-keyed cache pairs with pattern_hash(). Values are
+  /// ignored.
+  bool same_pattern(const CsrMatrix& other) const;
 
  private:
   int n_ = 0;

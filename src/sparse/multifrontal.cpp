@@ -811,6 +811,222 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
   std::copy(dx.data(), dx.data() + n, x.begin());
 }
 
+void MultifrontalFactor::solve_many(std::vector<double>& x, int nrhs) const {
+  IRRLU_CHECK_MSG(nrhs >= 0, "solve_many(): negative nrhs");
+  IRRLU_CHECK_MSG(x.size() == static_cast<std::size_t>(n_) *
+                                  static_cast<std::size_t>(nrhs),
+                  "solve_many(): x holds " << x.size() << " elements, want n*"
+                                           << "nrhs = " << n_ << "*" << nrhs);
+  solve_many(x.data(), nrhs);
+}
+
+void MultifrontalFactor::solve_many(double* x, int nrhs) const {
+  if (nrhs <= 0 || n_ == 0) return;
+  // The scope opens before any staging allocation so every buffer of the
+  // interleaved sweep is tagged "solve_many".
+  IRRLU_TRACE_SCOPE(dev_.tracer(), "solve_many");
+  auto& stream = dev_.stream();
+  const int ldx = n_;
+  const std::size_t xelems =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(nrhs);
+  auto dx = dev_.alloc<double>(xelems);
+  std::copy(x, x + xelems, dx.data());
+  double* xd = dx.data();
+
+  // Host-side per-front metadata for the gather/scatter kernels (the
+  // solve_batched Meta idiom) plus device descriptor arrays for the
+  // irrTRSM / irrGEMM calls. Every front of a level stages its dim x nrhs
+  // right-hand-side block once; the triangular solve and the
+  // separator/update coupling then run over the whole level as ONE
+  // irregular batch, so the factor blocks are read once per front per
+  // sweep instead of once per RHS.
+  struct Meta {
+    double* stage;   ///< this front's dim x nrhs staging block (ld = dim)
+    const int* upd;  ///< update-row indices (permuted space)
+    const int* pg;   ///< pivoted gather order for the separator rows
+    int s, u, sep_begin;
+  };
+  struct LevelBatch {
+    int bs = 0;  ///< fronts with s > 0
+    int max_s = 0, max_u = 0;
+    std::shared_ptr<std::vector<Meta>> metas;
+    gpusim::DeviceBuffer<double> stage;
+    gpusim::DeviceBuffer<int> pgather;  ///< concatenated pivot orders
+    gpusim::DeviceBuffer<const double*> f11_p, l21_p, u12_p;
+    gpusim::DeviceBuffer<double*> top_p, bot_p;
+    gpusim::DeviceBuffer<int> f11_ld, l21_ld, u12_ld, stage_ld, s_vec, u_vec,
+        nrhs_vec;
+  };
+
+  const int nlevels = static_cast<int>(sym_.levels.size());
+  std::vector<LevelBatch> lvls(static_cast<std::size_t>(nlevels));
+  for (int lvl = 0; lvl < nlevels; ++lvl) {
+    LevelBatch& L = lvls[static_cast<std::size_t>(lvl)];
+    std::size_t stage_elems = 0, pg_total = 0;
+    for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+      const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+      if (fr.s() == 0) continue;
+      ++L.bs;
+      L.max_s = std::max(L.max_s, fr.s());
+      L.max_u = std::max(L.max_u, fr.u());
+      stage_elems += static_cast<std::size_t>(fr.dim()) *
+                     static_cast<std::size_t>(nrhs);
+      pg_total += static_cast<std::size_t>(fr.s());
+    }
+    if (L.bs == 0) continue;
+    const auto bsz = static_cast<std::size_t>(L.bs);
+    L.stage = dev_.alloc<double>(stage_elems);
+    L.pgather = dev_.alloc<int>(pg_total);
+    L.f11_p = dev_.alloc<const double*>(bsz);
+    L.l21_p = dev_.alloc<const double*>(bsz);
+    L.u12_p = dev_.alloc<const double*>(bsz);
+    L.top_p = dev_.alloc<double*>(bsz);
+    L.bot_p = dev_.alloc<double*>(bsz);
+    L.f11_ld = dev_.alloc<int>(bsz);
+    L.l21_ld = dev_.alloc<int>(bsz);
+    L.u12_ld = dev_.alloc<int>(bsz);
+    L.stage_ld = dev_.alloc<int>(bsz);
+    L.s_vec = dev_.alloc<int>(bsz);
+    L.u_vec = dev_.alloc<int>(bsz);
+    L.nrhs_vec = dev_.alloc<int>(bsz);
+    L.metas = std::make_shared<std::vector<Meta>>();
+    L.metas->reserve(bsz);
+    std::size_t so = 0, po = 0;
+    std::size_t i = 0;
+    for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+      const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+      const int s = fr.s(), u = fr.u(), dim = fr.dim();
+      if (s == 0) continue;
+      double* st = L.stage.data() + so;
+      int* pg = L.pgather.data() + po;
+      // The sequential pivot swaps of the scalar solve, applied to an
+      // identity index array, yield the gather order that produces the
+      // same permuted vector in one pass.
+      for (int r = 0; r < s; ++r) pg[r] = r;
+      const int* piv = front_ipiv(id);
+      for (int r = 0; r < s; ++r)
+        if (piv[r] != r) std::swap(pg[r], pg[piv[r]]);
+      L.f11_p[i] = f11(id);
+      L.l21_p[i] = l21(id);
+      L.u12_p[i] = u12(id);
+      L.top_p[i] = st;
+      L.bot_p[i] = st + s;
+      L.f11_ld[i] = s;
+      L.l21_ld[i] = u > 0 ? u : 1;
+      L.u12_ld[i] = s;
+      L.stage_ld[i] = dim;
+      L.s_vec[i] = s;
+      L.u_vec[i] = u;
+      L.nrhs_vec[i] = nrhs;
+      L.metas->push_back(
+          {st, upd_storage_.data() + upd_offset_[static_cast<std::size_t>(id)],
+           pg, s, u, fr.sep_begin});
+      so += static_cast<std::size_t>(dim) * static_cast<std::size_t>(nrhs);
+      po += static_cast<std::size_t>(s);
+      ++i;
+    }
+  }
+
+  // Forward sweep, leaves to root: stage <- P x_s; stage <- L11^{-1} stage
+  // (irrTRSM over the level); bottom <- L21 * top (irrGEMM); x[upd] -=
+  // bottom (scatter; atomics on real hardware, sequential blocks in the
+  // simulator — the same contract solve_batched documents).
+  for (int lvl = nlevels - 1; lvl >= 0; --lvl) {
+    const LevelBatch& L = lvls[static_cast<std::size_t>(lvl)];
+    if (L.bs == 0) continue;
+    IRRLU_TRACE_SCOPE(dev_.tracer(), "fwd");
+    auto metas = L.metas;
+    dev_.launch(stream, {"mf_many_gather_fwd", L.bs, 0},
+                [metas, xd, ldx, nrhs](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      const int dim = m.s + m.u;
+      for (int j = 0; j < nrhs; ++j) {
+        const double* xc = xd + static_cast<std::ptrdiff_t>(j) * ldx +
+                           m.sep_begin;
+        double* sc = m.stage + static_cast<std::ptrdiff_t>(j) * dim;
+        for (int r = 0; r < m.s; ++r) sc[r] = xc[m.pg[r]];
+      }
+      ctx.record(0.0, 2.0 * m.s * nrhs * sizeof(double) +
+                          static_cast<double>(m.s) * sizeof(int));
+    });
+    batch::irr_trsm(dev_, stream, la::Side::Left, la::Uplo::Lower,
+                    la::Trans::No, la::Diag::Unit, L.max_s, nrhs, 1.0,
+                    L.f11_p.data(), L.f11_ld.data(), 0, 0, L.top_p.data(),
+                    L.stage_ld.data(), 0, 0, L.s_vec.data(),
+                    L.nrhs_vec.data(), L.bs);
+    if (L.max_u > 0)
+      batch::irr_gemm(dev_, stream, la::Trans::No, la::Trans::No, L.max_u,
+                      nrhs, L.max_s, 1.0, L.l21_p.data(), L.l21_ld.data(), 0,
+                      0, const_cast<const double* const*>(L.top_p.data()),
+                      L.stage_ld.data(), 0, 0, 0.0, L.bot_p.data(),
+                      L.stage_ld.data(), 0, 0, L.u_vec.data(),
+                      L.nrhs_vec.data(), L.s_vec.data(), L.bs);
+    dev_.launch(stream, {"mf_many_scatter_fwd", L.bs, 0},
+                [metas, xd, ldx, nrhs](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      const int dim = m.s + m.u;
+      for (int j = 0; j < nrhs; ++j) {
+        double* xc = xd + static_cast<std::ptrdiff_t>(j) * ldx;
+        const double* sc = m.stage + static_cast<std::ptrdiff_t>(j) * dim;
+        for (int r = 0; r < m.s; ++r) xc[m.sep_begin + r] = sc[r];
+        for (int k = 0; k < m.u; ++k) xc[m.upd[k]] -= sc[m.s + k];
+      }
+      ctx.record(static_cast<double>(m.u) * nrhs,
+                 (2.0 * m.s + 3.0 * m.u) * nrhs * sizeof(double) +
+                     static_cast<double>(m.u) * sizeof(int));
+    });
+  }
+
+  // Backward sweep, root to leaves: top <- x_s, bottom <- x[upd] (gather);
+  // top -= U12 * bottom (irrGEMM); top <- U11^{-1} top (irrTRSM); x_s <-
+  // top (scatter; separator ranges are disjoint, plain stores).
+  for (int lvl = 0; lvl < nlevels; ++lvl) {
+    const LevelBatch& L = lvls[static_cast<std::size_t>(lvl)];
+    if (L.bs == 0) continue;
+    IRRLU_TRACE_SCOPE(dev_.tracer(), "bwd");
+    auto metas = L.metas;
+    dev_.launch(stream, {"mf_many_gather_bwd", L.bs, 0},
+                [metas, xd, ldx, nrhs](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      const int dim = m.s + m.u;
+      for (int j = 0; j < nrhs; ++j) {
+        const double* xc = xd + static_cast<std::ptrdiff_t>(j) * ldx;
+        double* sc = m.stage + static_cast<std::ptrdiff_t>(j) * dim;
+        for (int r = 0; r < m.s; ++r) sc[r] = xc[m.sep_begin + r];
+        for (int k = 0; k < m.u; ++k) sc[m.s + k] = xc[m.upd[k]];
+      }
+      ctx.record(0.0, 2.0 * (m.s + m.u) * nrhs * sizeof(double) +
+                          static_cast<double>(m.u) * sizeof(int));
+    });
+    if (L.max_u > 0)
+      batch::irr_gemm(dev_, stream, la::Trans::No, la::Trans::No, L.max_s,
+                      nrhs, L.max_u, -1.0, L.u12_p.data(), L.u12_ld.data(), 0,
+                      0, const_cast<const double* const*>(L.bot_p.data()),
+                      L.stage_ld.data(), 0, 0, 1.0, L.top_p.data(),
+                      L.stage_ld.data(), 0, 0, L.s_vec.data(),
+                      L.nrhs_vec.data(), L.u_vec.data(), L.bs);
+    batch::irr_trsm(dev_, stream, la::Side::Left, la::Uplo::Upper,
+                    la::Trans::No, la::Diag::NonUnit, L.max_s, nrhs, 1.0,
+                    L.f11_p.data(), L.f11_ld.data(), 0, 0, L.top_p.data(),
+                    L.stage_ld.data(), 0, 0, L.s_vec.data(),
+                    L.nrhs_vec.data(), L.bs);
+    dev_.launch(stream, {"mf_many_scatter_bwd", L.bs, 0},
+                [metas, xd, ldx, nrhs](gpusim::BlockCtx& ctx) {
+      const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
+      const int dim = m.s + m.u;
+      for (int j = 0; j < nrhs; ++j) {
+        double* xc = xd + static_cast<std::ptrdiff_t>(j) * ldx;
+        const double* sc = m.stage + static_cast<std::ptrdiff_t>(j) * dim;
+        for (int r = 0; r < m.s; ++r) xc[m.sep_begin + r] = sc[r];
+      }
+      ctx.record(0.0, 2.0 * m.s * nrhs * sizeof(double));
+    });
+  }
+
+  dev_.synchronize(stream);
+  std::copy(dx.data(), dx.data() + xelems, x);
+}
+
 void MultifrontalFactor::solve(std::vector<double>& x) const {
   const auto nf = sym_.fronts.size();
   std::vector<double> xs, xu;

@@ -107,6 +107,21 @@ class MultifrontalFactor {
   /// child-before-parent ordering.
   void solve_batched(std::vector<double>& x) const;
 
+  /// Interleaved many-RHS solve: X is column-major n x nrhs (ld = n, in
+  /// the permuted space, one RHS per column), overwritten with the
+  /// solutions. Each level's fronts run ONE gather, one irrTRSM over the
+  /// s x nrhs separator blocks, one irrGEMM for the separator/update
+  /// coupling and one scatter — instead of nrhs independent sweeps. The
+  /// factor blocks are read once per front per sweep rather than once per
+  /// RHS, and the launch count is per-level rather than per-RHS-per-level:
+  /// the interleaved batch-solver access pattern ("Efficient Interleaved
+  /// Batch Matrix Solvers for CUDA", PAPERS.md). Device path; per-column
+  /// results agree with solve()/solve_batched() to rounding (blocked
+  /// irrTRSM vs per-vector trsv accumulation order), not bitwise.
+  void solve_many(double* x, int nrhs) const;
+  /// Convenience overload: x.size() must equal n * nrhs.
+  void solve_many(std::vector<double>& x, int nrhs) const;
+
   /// Solves (L U)^T x = b in the permuted space, overwriting x: the
   /// transpose of solve(), obtained by transposing every per-front
   /// elimination step and reversing the two sweeps. Host-side; needed by
@@ -133,6 +148,13 @@ class MultifrontalFactor {
 
   /// Numerical diagnostics collected during factorization.
   const FactorReport& report() const { return report_; }
+
+  /// Raw compact factor storage (every front's L11\U11 | U12 | L21 blocks
+  /// concatenated in postorder) — read-only, the bit-identity oracle the
+  /// service tests and bench_service compare cached-refactor factors
+  /// against their uncached twins with.
+  const double* factor_data() const { return factor_store_.data(); }
+  std::size_t factor_elems() const { return factor_store_.size(); }
 
   /// Hager/Higham 1-norm condition estimate of the factored (prepared)
   /// matrix: ||A_prep||_1 * est(||A_prep^{-1}||_1), the latter from a few

@@ -188,11 +188,146 @@ std::vector<double> SparseDirectSolver::solve(
   return std::move(rep.x);
 }
 
+std::vector<SolveReport> SparseDirectSolver::solve_report_many(
+    const std::vector<std::vector<double>>& bs) const {
+  IRRLU_CHECK_MSG(factor_ != nullptr, "solve_report_many() requires factor()");
+  const int n = a_.rows();
+  const int nrhs = static_cast<int>(bs.size());
+  std::vector<SolveReport> reps(bs.size());
+  if (nrhs == 0) return reps;
+  for (const auto& b : bs) IRRLU_CHECK(static_cast<int>(b.size()) == n);
+  const auto nz = static_cast<std::size_t>(n);
+
+  // Same transforms as solve_report()'s solve_once, applied column-wise:
+  // w = P (Dr rhs); batched sweep; x[q[j]] = dc[q[j]] w[j].
+  auto scale_in = [&](const double* rhs, double* w) {
+    for (int i = 0; i < n; ++i) {
+      const int oi = ord_.perm[static_cast<std::size_t>(i)];
+      w[i] = mc64_.dr[static_cast<std::size_t>(oi)] * rhs[oi];
+    }
+  };
+  auto scale_out = [&](const double* w, double* x) {
+    for (int j = 0; j < n; ++j) {
+      const int oj = ord_.perm[static_cast<std::size_t>(j)];
+      const int col = mc64_.col_of_row[static_cast<std::size_t>(oj)];
+      x[col] = mc64_.dc[static_cast<std::size_t>(col)] * w[j];
+    }
+  };
+
+  // Initial solves for every request: one interleaved sweep.
+  std::vector<double> W(nz * static_cast<std::size_t>(nrhs));
+  for (int j = 0; j < nrhs; ++j)
+    scale_in(bs[static_cast<std::size_t>(j)].data(),
+             W.data() + static_cast<std::size_t>(j) * nz);
+  factor_->solve_many(W.data(), nrhs);
+
+  // Requests still refining; they leave the batch individually under
+  // exactly the per-request rules of solve_report() (cap, divergence
+  // rollback, Higham's stagnation rule).
+  struct Active {
+    int req;
+    std::vector<double> x, best;
+    double berr, best_berr;
+    int steps = 0;
+  };
+  std::vector<Active> act;
+  const double tol = std::max(opts_.refine_tolerance, 0.0);
+  for (int j = 0; j < nrhs; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    std::vector<double> x(nz);
+    scale_out(W.data() + ju * nz, x.data());
+    const double berr = a_.componentwise_residual(x.data(), bs[ju].data());
+    SolveReport& rep = reps[ju];
+    rep.berr_history.push_back(berr);
+    if (!std::isfinite(berr)) {
+      rep.x = std::move(x);
+      rep.berr = berr;
+      rep.status = SolveStatus::kFailed;
+      continue;
+    }
+    if (berr <= tol || opts_.max_refine_steps <= 0) {
+      rep.x = std::move(x);
+      rep.berr = berr;
+      rep.status =
+          berr <= tol ? SolveStatus::kConverged : SolveStatus::kDegraded;
+      continue;
+    }
+    Active a;
+    a.req = j;
+    a.best = x;
+    a.x = std::move(x);
+    a.berr = a.best_berr = berr;
+    act.push_back(std::move(a));
+  }
+
+  std::vector<double> r(nz);
+  while (!act.empty()) {
+    const int na = static_cast<int>(act.size());
+    W.resize(nz * static_cast<std::size_t>(na));
+    for (int k = 0; k < na; ++k) {
+      const Active& a = act[static_cast<std::size_t>(k)];
+      const auto& b = bs[static_cast<std::size_t>(a.req)];
+      a_.multiply(a.x.data(), r.data());
+      for (int i = 0; i < n; ++i)
+        r[static_cast<std::size_t>(i)] =
+            b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+      scale_in(r.data(), W.data() + static_cast<std::size_t>(k) * nz);
+    }
+    factor_->solve_many(W.data(), na);
+
+    std::vector<Active> next;
+    for (int k = 0; k < na; ++k) {
+      Active& a = act[static_cast<std::size_t>(k)];
+      std::vector<double> dx(nz);
+      scale_out(W.data() + static_cast<std::size_t>(k) * nz, dx.data());
+      for (std::size_t i = 0; i < nz; ++i) a.x[i] += dx[i];
+      ++a.steps;
+      const double nb = a_.componentwise_residual(
+          a.x.data(), bs[static_cast<std::size_t>(a.req)].data());
+      SolveReport& rep = reps[static_cast<std::size_t>(a.req)];
+      rep.berr_history.push_back(nb);
+      bool stop = false;
+      if (!std::isfinite(nb) || nb >= a.berr) {
+        stop = true;  // diverged — roll back to the best iterate
+      } else {
+        const bool stagnated = nb > 0.5 * a.berr;
+        a.berr = nb;
+        if (nb < a.best_berr) {
+          a.best_berr = nb;
+          a.best = a.x;
+        }
+        if (stagnated || a.berr <= tol || a.steps >= opts_.max_refine_steps)
+          stop = true;
+      }
+      if (stop) {
+        rep.refine_steps = a.steps;
+        rep.x = std::move(a.best);
+        rep.berr = a.best_berr;
+        rep.status = a.best_berr <= tol ? SolveStatus::kConverged
+                                        : SolveStatus::kDegraded;
+      } else {
+        next.push_back(std::move(a));
+      }
+    }
+    act = std::move(next);
+  }
+  return reps;
+}
+
 std::vector<std::vector<double>> SparseDirectSolver::solve(
     const std::vector<std::vector<double>>& bs) const {
+  std::vector<SolveReport> reps = solve_report_many(bs);
   std::vector<std::vector<double>> xs;
-  xs.reserve(bs.size());
-  for (const auto& b : bs) xs.push_back(solve(b));
+  xs.reserve(reps.size());
+  for (std::size_t k = 0; k < reps.size(); ++k) {
+    IRRLU_CHECK_MSG(
+        reps[k].status != SolveStatus::kFailed,
+        "solve(bs): request " << k << " of " << reps.size()
+                              << " is numerically unusable (solution contains "
+                                 "NaN/Inf) — use solve_report_many() for "
+                                 "non-throwing structured results");
+    xs.push_back(std::move(reps[k].x));
+  }
   return xs;
 }
 

@@ -347,7 +347,8 @@ TEST(Report, ProfileCountersMatchHandComputedWork) {
   EXPECT_DOUBLE_EQ(st.flops, 18000.0);
   EXPECT_DOUBLE_EQ(st.bytes, 3600.0);
   EXPECT_DOUBLE_EQ(dev.total_flops(), 18000.0);
-  const Agg& a = aggregate_by_kernel(t).at("hand");
+  // Copy: aggregate_by_kernel returns by value, a reference would dangle.
+  const Agg a = aggregate_by_kernel(t).at("hand");
   EXPECT_DOUBLE_EQ(a.flops, 18000.0);
   EXPECT_DOUBLE_EQ(a.bytes, 3600.0);
 }
