@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -59,6 +60,24 @@ struct ConfigResult {
   double residual = 0;
 };
 
+/// One side of the interleaved-routing A/B (DESIGN.md §12).
+struct IlvConfig {
+  bool enabled = false;
+  double factor_s = 0, refactor_median_s = 0;
+  double factor_sim_s = 0;
+  long launches = 0;
+};
+
+/// The interleaved experiment of one mesh point: routing on vs off (both
+/// with the pool), the dispatch-cache traffic of the refactor loop, and
+/// the factor-bits identity between the two sides.
+struct IlvExperiment {
+  IlvConfig cfg[2];  // [0] = routing on, [1] = routing off
+  long refactor_hits = 0, refactor_misses = 0, refactor_plan_hits = 0;
+  double refactor_hit_rate = 0;
+  bool bits_identical = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,27 +87,38 @@ int main(int argc, char** argv) {
   const std::string device = args.get_string("device", "a100");
   const std::string out_path = args.get_string("out", "BENCH_factor.json");
   const double omega = args.get_double("omega", 16.0);
+  // Interleaved-routing class-dim cap for the A/B below; 0 keeps the
+  // library default (see InterleavedOptions::max_class_dim).
+  const int ilv_cap = args.get_int("ilv_cap", 0);
 
   // (ntheta, ncross) torus resolutions; edge-element counts grow with
   // ntheta * ncross^2. --quick keeps the smoke target in ctest seconds.
+  // The ncross = 2 points are thin tubes whose assembly trees consist
+  // entirely of small fronts — the paper's deep-level regime, where the
+  // interleaved leaf routing has material coverage; on the fat 3D points
+  // nearly every front exceeds the routable class sizes.
   std::vector<std::pair<int, int>> family;
   if (quick)
-    family = {{8, 4}};
+    family = {{8, 4}, {48, 2}};
   else if (args.get_bool("large"))
-    family = {{12, 6}, {16, 8}, {24, 8}, {32, 10}};
+    family = {{12, 6}, {16, 8}, {24, 8}, {32, 10}, {384, 2}, {1536, 2}};
   else
-    family = {{12, 6}, {16, 8}, {24, 8}};
+    family = {{12, 6}, {16, 8}, {24, 8}, {384, 2}, {768, 2}};
 
   std::printf("factorization benchmark (Maxwell torus family, device=%s, "
               "%d refactor repeats)\n\n",
               device.c_str(), repeats);
   TextTable table({"point", "N", "pool", "factor (ms)", "refactor med (ms)",
                    "host allocs", "pool hits", "hit rate"});
+  TextTable ilv_table({"point", "N", "refactor strided (ms)",
+                       "refactor ilv (ms)", "wall speedup", "sim speedup",
+                       "disp hit rate"});
 
   struct PointResult {
     int ntheta, ncross, n;
     long nnz;
     ConfigResult cfg[2];  // [0] = pool on, [1] = pool off
+    IlvExperiment ilv;
   };
   std::vector<PointResult> points;
   bool ok = true;
@@ -213,10 +243,135 @@ int main(int argc, char** argv) {
                    pt.n, on.residual, off.residual);
       ok = false;
     }
+
+    // Interleaved leaf-routing A/B (DESIGN.md §12): same solver, pool on
+    // both sides, SoA leaf routing on vs off, with the same A/B pairing as
+    // the pool experiment. The factor bits are asserted identical between
+    // the two sides, and the refactor loop — the sequence-of-systems
+    // pattern the routing's dispatch plan exists for — must resolve its
+    // kernels almost entirely without rebuilding (hit rate >= 0.9;
+    // deterministic, so a miss-heavy loop exits nonzero).
+    {
+      std::vector<double> ifactor_t[2], irefactor_t[2];
+      std::unique_ptr<gpusim::Device> idevs[2];
+      std::unique_ptr<trace::TraceSession> isessions[2];
+      std::unique_ptr<sparse::SparseDirectSolver> isolvers[2];
+      for (int k = 0; k < repeats; ++k)
+        for (int i = 0; i < 2; ++i) {
+          const bool ilv_on = i == 0;
+          isolvers[i].reset();
+          isessions[i].reset();
+          idevs[i] = std::make_unique<gpusim::Device>(model_by_name(device));
+          isessions[i] = make_trace_session(
+              *idevs[i], args,
+              "N" + std::to_string(pt.n) +
+                  (ilv_on ? ".ilv-on" : ".ilv-off"));
+          sparse::SolverOptions opts;
+          opts.nd.leaf_size = 16;
+          opts.factor.interleaved.enabled = ilv_on;
+          if (ilv_cap > 0) opts.factor.interleaved.max_class_dim = ilv_cap;
+          isolvers[i] = std::make_unique<sparse::SparseDirectSolver>(opts);
+          isolvers[i]->analyze(sys.a);
+          ifactor_t[i].push_back(
+              wall_s([&] { isolvers[i]->factor(*idevs[i]); }));
+        }
+      IlvExperiment& ex = pt.ilv;
+      for (int k = 0; k < repeats; ++k)
+        for (int i = 0; i < 2; ++i) {
+          irefactor_t[i].push_back(
+              wall_s([&] { isolvers[i]->refactor(*idevs[i], sys.a); }));
+          if (i == 0) {
+            const sparse::FactorReport& rep = isolvers[0]->numeric().report();
+            ex.refactor_hits += rep.dispatch_hits;
+            ex.refactor_misses += rep.dispatch_misses;
+            ex.refactor_plan_hits += rep.dispatch_plan_hits;
+          }
+        }
+      for (int i = 0; i < 2; ++i) {
+        IlvConfig& r = ex.cfg[i];
+        r.enabled = i == 0;
+        r.factor_s = median(ifactor_t[i]);
+        r.refactor_median_s = median(irefactor_t[i]);
+        r.factor_sim_s = isolvers[i]->numeric().factor_seconds();
+        r.launches = idevs[i]->launch_count();
+      }
+      const long total = ex.refactor_hits + ex.refactor_misses +
+                         ex.refactor_plan_hits;
+      ex.refactor_hit_rate =
+          total > 0 ? static_cast<double>(ex.refactor_hits +
+                                          ex.refactor_plan_hits) /
+                          static_cast<double>(total)
+                    : 0.0;
+      const auto& f_on = isolvers[0]->numeric();
+      const auto& f_off = isolvers[1]->numeric();
+      ex.bits_identical =
+          f_on.factor_elems() == f_off.factor_elems() &&
+          std::memcmp(f_on.factor_data(), f_off.factor_data(),
+                      f_on.factor_elems() * sizeof(double)) == 0;
+      if (!ex.bits_identical) {
+        std::fprintf(stderr,
+                     "FAIL: N=%d interleaved factor bits differ from the "
+                     "strided path\n",
+                     pt.n);
+        ok = false;
+      }
+      if (total > 0 && ex.refactor_hit_rate < 0.9) {
+        std::fprintf(stderr,
+                     "FAIL: N=%d interleaved refactor dispatch hit rate "
+                     "%.3f < 0.9 (%ld hits, %ld plan hits, %ld misses)\n",
+                     pt.n, ex.refactor_hit_rate, ex.refactor_hits,
+                     ex.refactor_plan_hits, ex.refactor_misses);
+        ok = false;
+      }
+      ilv_table.add_row(
+          "torus " + std::to_string(nt) + "x" + std::to_string(nc), pt.n,
+          TextTable::fmt(ex.cfg[1].refactor_median_s * 1e3, 2),
+          TextTable::fmt(ex.cfg[0].refactor_median_s * 1e3, 2),
+          TextTable::fmt(ex.cfg[0].refactor_median_s > 0
+                             ? ex.cfg[1].refactor_median_s /
+                                   ex.cfg[0].refactor_median_s
+                             : 0.0,
+                         2),
+          TextTable::fmt(ex.cfg[0].factor_sim_s > 0
+                             ? ex.cfg[1].factor_sim_s / ex.cfg[0].factor_sim_s
+                             : 0.0,
+                         2),
+          TextTable::fmt(ex.refactor_hit_rate, 3));
+      for (int i = 0; i < 2; ++i) {
+        isolvers[i].reset();
+        isessions[i].reset();
+        idevs[i].reset();
+      }
+    }
     points.push_back(pt);
   }
 
   table.print();
+  std::printf("\ninterleaved leaf routing (pool on, strided vs SoA):\n");
+  ilv_table.print();
+
+  // Family-wide dispatch traffic: the refactor loop must exist (at least
+  // one point routes fronts through the dispatch cache) and must resolve
+  // its kernels almost entirely from the recorded plan.
+  long agg_hits = 0, agg_misses = 0, agg_plan = 0;
+  for (const PointResult& pt : points) {
+    agg_hits += pt.ilv.refactor_hits;
+    agg_misses += pt.ilv.refactor_misses;
+    agg_plan += pt.ilv.refactor_plan_hits;
+  }
+  const long agg_total = agg_hits + agg_misses + agg_plan;
+  const double agg_rate =
+      agg_total > 0
+          ? static_cast<double>(agg_hits + agg_plan) /
+                static_cast<double>(agg_total)
+          : 0.0;
+  if (agg_total == 0 || agg_rate < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: family-wide interleaved refactor dispatch hit rate "
+                 "%.3f < 0.9 (%ld hits, %ld plan hits, %ld misses)\n",
+                 agg_rate, agg_hits, agg_plan, agg_misses);
+    ok = false;
+  }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   IRRLU_CHECK_MSG(f != nullptr, "bench_factor: cannot open " << out_path);
@@ -270,6 +425,37 @@ int main(int argc, char** argv) {
                    static_cast<double>(pt.cfg[1].host_allocs)
              : 0.0,
          "%.6f");
+    w.key("interleaved");
+    w.begin_object();
+    w.key("configs");
+    w.begin_array();
+    for (const IlvConfig& r : pt.ilv.cfg) {
+      w.begin_object(/*compact=*/true);
+      w.kv_bool("enabled", r.enabled);
+      w.kv("factor_wall_s", r.factor_s, "%.6e");
+      w.kv("refactor_wall_median_s", r.refactor_median_s, "%.6e");
+      w.kv("factor_sim_s", r.factor_sim_s, "%.17g");
+      w.kv_int("launches", r.launches);
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("refactor_speedup",
+         pt.ilv.cfg[0].refactor_median_s > 0
+             ? pt.ilv.cfg[1].refactor_median_s /
+                   pt.ilv.cfg[0].refactor_median_s
+             : 0.0,
+         "%.4f");
+    w.kv("sim_speedup",
+         pt.ilv.cfg[0].factor_sim_s > 0
+             ? pt.ilv.cfg[1].factor_sim_s / pt.ilv.cfg[0].factor_sim_s
+             : 0.0,
+         "%.4f");
+    w.kv_int("refactor_dispatch_hits", pt.ilv.refactor_hits);
+    w.kv_int("refactor_dispatch_misses", pt.ilv.refactor_misses);
+    w.kv_int("refactor_dispatch_plan_hits", pt.ilv.refactor_plan_hits);
+    w.kv("refactor_dispatch_hit_rate", pt.ilv.refactor_hit_rate, "%.6f");
+    w.kv_bool("factor_bits_identical", pt.ilv.bits_identical);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -279,6 +465,8 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s\n", out_path.c_str());
   if (ok)
     std::printf("pool on/off simulated timelines identical; host mallocs "
-                "strictly lower with the pool.\n");
+                "strictly lower with the pool; interleaved factor bits "
+                "identical to strided with refactor dispatch hit rate >= "
+                "0.9.\n");
   return ok ? 0 : 1;
 }

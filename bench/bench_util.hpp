@@ -151,20 +151,34 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 // onto the GEMM Schur update u x u x s and the TRSM panel solves):
 //
 //   name             "gemm_nn_mid", "trsm_ll_root", ... (stable key)
-//   op               "gemm" | "trsm"
+//   op               "gemm" | "trsm" | "getf2"
 //   transa, transb   "N" | "T"       (gemm; "N"/"N" placeholders for trsm)
 //   side, uplo       "L"/"R", "L"/"U" (trsm; placeholders for gemm)
-//   m, n, k          problem extents (k is 0 for trsm)
+//   m, n, k          problem extents (k is 0 for trsm/getf2)
 //   flops            operation count for one call (la::*_flops)
 //   engine_median_ns median wall-clock ns per call through la::gemm/la::trsm
 //   naive_median_ns  same through la::ref::gemm/la::ref::trsm (the pre-
 //                    engine algorithms, compiled with project-default flags)
 //   engine_gflops, naive_gflops    flops / median_ns
 //   speedup          naive_median_ns / engine_median_ns
+//   layout           "strided" | "interleaved"
+//   batch            lanes per call (1 for the strided single-call rows)
 //
-// Medians are taken over a work-scaled, odd repetition count after one
-// warm-up call. Compare engine_median_ns per class across PRs (the rows are
-// stable); speedup tracks the engine against the frozen pre-PR baseline.
+// The interleaved_* rows (layout "interleaved", DESIGN.md §12) time one
+// whole batch of `batch` same-shape leaf-class matrices per call: the
+// contender ("engine") is the dispatch-cached SoA launch (irr_*_ilv, warm
+// KernelCache), the baseline ("naive") is the strided engine batch path
+// (irr_gemm/irr_trsm/irr_getrf) on the same simulated device — i.e. what
+// the multifrontal leaf levels would otherwise run. The medians cover the
+// batch, so ns and gflops compare directly row-to-row; speedup is the SoA
+// win over the strided layout at that shape. getf2 rows carry the batched
+// boosted factorization of m x n panels.
+//
+// Medians are taken over a work-scaled, odd repetition count after a
+// wall-time-bounded warm-up (a few ms of sustained work, so microsecond-
+// scale bodies are timed at steady-state frequency rather than mid-ramp).
+// Compare engine_median_ns per class across PRs (the rows are stable);
+// speedup tracks the engine against the frozen pre-PR baseline.
 // ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------
@@ -205,10 +219,37 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 //   refactor_speedup  pool-off / pool-on refactor medians (wall clock,
 //                     machine-dependent — report, do not gate on it)
 //   host_alloc_ratio  pool-on / pool-off host mallocs (deterministic)
+//   interleaved       SoA leaf-routing A/B on the same point (pool on both
+//                     sides; DESIGN.md §12):
+//     configs                  two entries, routing on first:
+//       enabled                    true | false
+//       factor_wall_s              first numeric factorization, host s
+//       refactor_wall_median_s     median same-pattern refactor, host s
+//       factor_sim_s               simulated device seconds
+//       launches                   device launch count
+//     refactor_speedup         routing-off / routing-on refactor medians
+//                              (wall clock — report, do not gate)
+//     sim_speedup              routing-off / routing-on factor_sim_s
+//     refactor_dispatch_hits / _misses / _plan_hits
+//                              KernelCache traffic summed over the
+//                              routing-on refactor loop
+//     refactor_dispatch_hit_rate   (hits + plan_hits) / total over that
+//                              loop; 1.0 when the recorded DispatchPlan
+//                              replays cleanly
+//     factor_bits_identical    routing-on factor bytes == routing-off
+//
+// The torus family mixes fat 3D points (ntheta x ncross x ncross with
+// ncross >= 6), whose fronts exceed the routable class sizes — the
+// interleaved columns are neutral there and the dispatch counters are
+// zero — with thin-tube points (ncross == 2) whose assembly trees consist
+// entirely of small fronts, the paper's deep-level regime where the SoA
+// routing has material coverage.
 //
 // The driver itself exits nonzero when any deterministic invariant fails
-// (sim time / launches / allocs / peak differ between configs, or the pool
-// does not reduce host_allocs); ctest runs it as bench_factor_smoke.
+// (sim time / launches / allocs / peak differ between pool configs, the
+// pool does not reduce host_allocs, the interleaved factor bits differ
+// from strided, or the family-wide refactor dispatch hit rate falls below
+// 0.9); ctest runs it as bench_factor_smoke.
 // ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------

@@ -101,17 +101,66 @@ void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
     const double bw = model_.bandwidth_share(static_cast<int>(
         std::min(nslots, block_costs_.size())));
     // List-schedule blocks (in issue order) onto the earliest-free slot.
+    //
+    // The schedule pops the heap once per block, and every re-pushed slot
+    // carries a `done` time at least as late as the value it replaced, so
+    // with b blocks only the b lexicographically smallest (free, idx)
+    // slots can ever surface: at any of the first b pops, at least one of
+    // those b is still enqueued and undercuts every other candidate.
+    // Seeding the heap with just that subset (one bounded-max-heap pass
+    // over the prefix) is therefore schedule-identical to heaping all
+    // num_sms * bps slots — which dominated the host cost of every launch
+    // with a small grid, exactly the leaf-batch regime the interleaved
+    // path cares about.
     using Slot = std::pair<double, std::size_t>;  // (free time, slot index)
-    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> pq;
-    for (std::size_t i = 0; i < nslots && i < slot_free_.size(); ++i)
-      pq.emplace(slot_free_[i], i);
+    const std::size_t cand = std::min(nslots, slot_free_.size());
+    const std::size_t take = std::min(block_costs_.size(), cand);
+    std::vector<Slot>& heap = slot_scratch_;
+    heap.clear();
+    // Prefill with the prefix, then scan the rest through a value-only
+    // threshold filter: a block of slots none of which undercuts the
+    // current heap maximum cannot contribute, and the filter reduces over
+    // plain doubles so it vectorizes. Ties at the threshold fall through
+    // to the exact (free, idx) comparison below.
+    std::size_t i = 0;
+    for (; i < take; ++i) {
+      heap.emplace_back(slot_free_[i], i);
+      std::push_heap(heap.begin(), heap.end());  // max-heap of the kept
+    }
+    constexpr std::size_t kChunk = 8;
+    for (; take > 0 && i + kChunk <= cand; i += kChunk) {
+      const double thr = heap.front().first;
+      double mn = slot_free_[i];
+      for (std::size_t u = 1; u < kChunk; ++u)
+        mn = std::min(mn, slot_free_[i + u]);
+      if (mn > thr) continue;
+      for (std::size_t u = 0; u < kChunk; ++u) {
+        const Slot sl{slot_free_[i + u], i + u};
+        if (sl < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = sl;
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+    }
+    for (; i < cand; ++i) {
+      const Slot sl{slot_free_[i], i};
+      if (sl < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = sl;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    const auto min_cmp = std::greater<Slot>{};
+    std::make_heap(heap.begin(), heap.end(), min_cmp);
     bool first = true;
     for (const auto& [flops, bytes] : block_costs_) {
-      auto [free_at, idx] = pq.top();
-      pq.pop();
+      std::pop_heap(heap.begin(), heap.end(), min_cmp);
+      const auto [free_at, idx] = heap.back();
+      heap.pop_back();
       const double start = std::max(free_at, earliest);
-      // The priority queue pops slots in order of free time, so the first
-      // block has the globally earliest start of the launch.
+      // The heap pops slots in order of free time, so the first block has
+      // the globally earliest start of the launch.
       if (first) {
         first_start = start;
         first = false;
@@ -120,7 +169,8 @@ void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
                           model_.block_seconds(flops, bytes, bw);
       slot_free_[idx] = done;
       if (done > end) end = done;
-      pq.emplace(done, idx);
+      heap.emplace_back(done, idx);
+      std::push_heap(heap.begin(), heap.end(), min_cmp);
     }
   }
   s.cursor_ = end;

@@ -324,6 +324,8 @@ class Device {
   // --- simulated timelines ---
   double host_time_ = 0.0;
   std::vector<double> slot_free_;  ///< num_sms * max_blocks_per_sm SM slots
+  /// Reused scheduling heap (end_launch); holds at most grid-size slots.
+  std::vector<std::pair<double, std::size_t>> slot_scratch_;
   std::vector<std::pair<double, double>> block_costs_;  ///< (flops, bytes)
   double launch_flops_ = 0, launch_bytes_ = 0;
 

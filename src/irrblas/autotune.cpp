@@ -16,10 +16,14 @@ AutotuneResult autotune_panel_width(const gpusim::DeviceModel& model,
   IRRLU_CHECK(!sizes.empty() && !candidates.empty());
 
   // Sample the size distribution (with replacement, deterministic seed so
-  // every candidate sees the same workload).
+  // every candidate sees the same workload). The draw is with replacement,
+  // so the requested count stands even when it exceeds the number of
+  // distinct sizes — capping it there under-sampled small distributions
+  // and biased the tuned width toward whatever few sizes survived.
   Rng rng(0xa1b2c3);
-  const int count =
-      std::min<int>(sample, static_cast<int>(sizes.size()));
+  const int count = sample;
+  IRRLU_CHECK(count > 0);
+  out.sampled = count;
   std::vector<int> sampled(static_cast<std::size_t>(count));
   for (auto& v : sampled)
     v = sizes[static_cast<std::size_t>(

@@ -17,14 +17,15 @@ namespace irrlu::batch {
 
 struct AutotuneResult {
   int nb = 32;                     ///< winning panel width
+  int sampled = 0;                 ///< matrices factored per candidate
   std::vector<int> candidates;    ///< widths tried
   std::vector<double> seconds;    ///< simulated seconds per candidate
 };
 
 /// Picks the LU panel width for a batch with the given square sizes on the
-/// given device model. `sample` bounds the number of matrices factored per
-/// candidate (sampled uniformly from `sizes`); candidates default to
-/// {8, 16, 32, 64}.
+/// given device model. Exactly `sample` matrices are factored per candidate
+/// (drawn uniformly from `sizes` with replacement, so `sample` may exceed
+/// sizes.size()); candidates default to {8, 16, 32, 64}.
 AutotuneResult autotune_panel_width(const gpusim::DeviceModel& model,
                                     const std::vector<int>& sizes,
                                     int sample = 64,

@@ -1,0 +1,40 @@
+#include "irrblas/dispatch.hpp"
+
+#include "common/error.hpp"
+
+namespace irrlu::batch {
+
+const la::mk::ilv::Kernel* KernelCache::resolve(const KernelKey& key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    return it->second.get();
+  }
+  ++stats_.misses;
+  IRRLU_CHECK_MSG(key.layout == BatchLayout::kInterleaved &&
+                      key.prec == MicroPrec::kF64,
+                  "dispatch cache: only interleaved f64 kernels exist");
+  la::mk::ilv::Kernel built;
+  switch (key.op) {
+    case MicroOp::kGemm:
+      built = la::mk::ilv::make_gemm(key.m, key.n, key.k);
+      break;
+    case MicroOp::kTrsmLeft:
+      built = la::mk::ilv::make_trsm(true, (key.flags & 1u) != 0,
+                                     (key.flags & 2u) != 0, key.m, key.n);
+      break;
+    case MicroOp::kTrsmRight:
+      built = la::mk::ilv::make_trsm(false, (key.flags & 1u) != 0,
+                                     (key.flags & 2u) != 0, key.m, key.n);
+      break;
+    case MicroOp::kGetf2:
+      built = la::mk::ilv::make_getf2(key.m, key.n);
+      break;
+  }
+  auto owned = std::make_unique<la::mk::ilv::Kernel>(built);
+  const la::mk::ilv::Kernel* out = owned.get();
+  map_.emplace(key, std::move(owned));
+  return out;
+}
+
+}  // namespace irrlu::batch

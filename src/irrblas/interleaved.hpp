@@ -1,0 +1,111 @@
+// Launch layer for the interleaved (SoA) batch layout: packs strided
+// fronts into per-size-class SoA buffers, runs the dispatch-cached
+// batch-axis-vectorized kernels (lapack/microkernel_ilv.hpp) over them,
+// and unpacks the results — with honest simulated-cost accounting.
+// DESIGN.md §12.
+//
+// The launch grid is lanes-first: every descriptor contributes
+// ceil(lanes / kIlvLaneChunk) blocks, and one launch may span several
+// descriptors (several size classes), so a level's worth of heterogeneous
+// buckets still costs ONE launch per pipeline stage. Each block touches a
+// contiguous lane chunk of one class — the coalesced access pattern the
+// device model's per-block bandwidth term rewards, and the reason the
+// interleaved row-swap traffic below drops the strided path's row-access
+// penalty factor.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "irrblas/dispatch.hpp"
+#include "irrblas/vbatch.hpp"
+#include "lapack/types.hpp"
+
+namespace irrlu::batch {
+
+/// Lanes per simulated block (= the microkernels' vector grain).
+inline constexpr int kIlvLaneChunk = 8;
+
+/// One kernel invocation over a lane range of one size class, within a
+/// (possibly multi-class) fused stage launch. `args.lane0/lane1` are
+/// filled per block by the launcher; everything else is caller-set.
+struct IlvOpDesc {
+  const la::mk::ilv::Kernel* kern = nullptr;
+  la::mk::ilv::Args args;
+  int lane0 = 0;  ///< first lane of this op within the class buffers
+  int lanes = 0;  ///< lanes processed
+  double flops_per_lane = 0;
+  double bytes_per_lane = 0;
+};
+
+/// Launches one fused stage: grid = sum over descs of ceil(lanes/chunk);
+/// each block runs its desc's kernel on its lane chunk and records
+/// per-lane work. Descs with zero lanes contribute nothing; an all-empty
+/// stage skips the launch entirely.
+void ilv_launch(gpusim::Device& dev, gpusim::Stream& stream, const char* name,
+                std::vector<IlvOpDesc> descs);
+
+/// One size class of a pack/unpack stage: `lanes` strided matrices
+/// (src[lane] with leading dimension src_ld[lane], both indexed by the
+/// absolute lane id) against the m x n SoA window `dst`. When `absmax`
+/// is set, the sweep also writes max |a_ij| per lane — the boost-norm /
+/// growth extremum fused into the copy (order-independent, so it equals
+/// the strided mf_front_norm/mf_front_growth value bitwise).
+struct IlvPackDesc {
+  IlvView dst;
+  int m = 0, n = 0;
+  int lane0 = 0, lanes = 0;
+  double* const* src = nullptr;
+  const int* src_ld = nullptr;
+  double* absmax = nullptr;
+};
+
+/// Strided -> SoA gather (+ optional per-lane max-magnitude).
+void ilv_pack(gpusim::Device& dev, gpusim::Stream& stream,
+              std::vector<IlvPackDesc> descs);
+/// SoA -> strided scatter (+ optional per-lane max-magnitude).
+void ilv_unpack(gpusim::Device& dev, gpusim::Stream& stream,
+                std::vector<IlvPackDesc> descs);
+
+/// One size class of a row-interchange stage: applies ipiv[lane][0..rows)
+/// forward (row r swaps with row ipiv[lane][r]) to `width` columns of the
+/// class window `view`. Bytes are counted per actual swap, coalesced:
+/// swaps * 4 accesses * width * sizeof(double) — without the
+/// (64 / sizeof(T)) row-access penalty the strided irr_laswp_range pays,
+/// because a lane sweep is unit stride in this layout.
+struct IlvLaswpDesc {
+  IlvView view;
+  int rows = 0, width = 0;
+  int lane0 = 0, lanes = 0;
+  int* const* ipiv = nullptr;
+};
+
+void ilv_laswp(gpusim::Device& dev, gpusim::Stream& stream,
+               std::vector<IlvLaswpDesc> descs);
+
+// ---------------------------------------------------------------------------
+// Single-class convenience wrappers (tests, benchmarks): resolve through
+// the dispatch handle and issue one single-desc launch.
+// ---------------------------------------------------------------------------
+
+/// LU with partial pivoting of every lane's m x n matrix in `a`;
+/// per-lane ipiv/info (and optional boosting) as in irr_getf2_fused.
+void irr_getf2_ilv(gpusim::Device& dev, gpusim::Stream& stream,
+                   const Dispatch& disp, const IlvView& a, int m, int n,
+                   int lanes, int* const* ipiv, int* info, double tau = 0.0,
+                   const double* anorm = nullptr, int* boost = nullptr);
+
+/// C = alpha * A * B + beta * C per lane (Trans::No both sides).
+void irr_gemm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
+                  const Dispatch& disp, int m, int n, int k, double alpha,
+                  const IlvView& a, const IlvView& b, double beta,
+                  const IlvView& c, int lanes);
+
+/// Triangular solve per lane (Trans::No): op(T) X = alpha B (Left) or
+/// X op(T) = alpha B (Right), B overwritten, B is m x n.
+void irr_trsm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
+                  const Dispatch& disp, la::Side side, la::Uplo uplo,
+                  la::Diag diag, int m, int n, double alpha, const IlvView& t,
+                  const IlvView& b, int lanes);
+
+}  // namespace irrlu::batch

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "irrblas/dispatch.hpp"
 #include "irrblas/irr_kernels.hpp"
 #include "sparse/symbolic.hpp"
 
@@ -63,6 +64,23 @@ struct FactorOptions {
   /// reported through FactorReport. <= 0 disables recovery (and the norm /
   /// growth launches) entirely.
   double pivot_tau = 1e-10;
+  /// Interleaved (SoA) leaf routing (DESIGN.md §12): with enabled = true,
+  /// the batched single-stream engine packs each level's small fronts into
+  /// per-(s, u)-class SoA buffers and factors them with the dispatch-cached
+  /// batch-axis-vectorized kernels — one launch per pipeline stage for the
+  /// whole level, coalesced row swaps. Factor bits are identical to the
+  /// strided path; simulated time and traffic differ (that is the point),
+  /// so the default is off and the default output stays byte-identical.
+  batch::InterleavedOptions interleaved;
+  /// Kernel registry the interleaved routing resolves through. Null uses a
+  /// constructor-local transient cache (kernels rebuilt per factorization);
+  /// callers that refactor repeatedly (SparseDirectSolver, the PR 7
+  /// service sessions) pass a long-lived cache so later factorizations hit.
+  batch::KernelCache* dispatch_cache = nullptr;
+  /// Optional recorded resolution sequence for same-pattern refactors:
+  /// replayed resolutions skip even the cache's hash lookup. Requires
+  /// dispatch_cache; the caller must begin_replay() per factorization.
+  batch::DispatchPlan* dispatch_plan = nullptr;
 };
 
 /// Per-factorization numerical diagnostics (tentpole of the robustness
@@ -83,6 +101,13 @@ struct FactorReport {
   /// summary.
   std::size_t predicted_peak_bytes = 0;
   std::size_t measured_peak_bytes = 0;
+  /// Dispatch-cache traffic of this factorization (all zero when the
+  /// interleaved routing is off): resolutions served from the cache hash
+  /// map, resolutions that built a kernel, and resolutions served by a
+  /// DispatchPlan replay without touching the hash map.
+  long dispatch_hits = 0;
+  long dispatch_misses = 0;
+  long dispatch_plan_hits = 0;
 };
 
 /// Owns the factored fronts (compact device storage) and performs solves.

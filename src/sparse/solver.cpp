@@ -72,13 +72,29 @@ void SparseDirectSolver::analyze(const CsrMatrix& a) {
     a_prep_ = aq.permute_symmetric(ord_.perm);
     sym_ = SymbolicAnalysis::build_from_etree(a_prep_);
   }
+  // A new pattern resolves a new dispatch sequence; stale entries would
+  // only produce one truncate-on-mismatch per analyze anyway, but clearing
+  // keeps the plan's size an honest per-pattern measure.
+  plan_.clear();
   analyzed_ = true;
+}
+
+FactorOptions SparseDirectSolver::factor_options() {
+  FactorOptions fo = opts_.factor;
+  if (fo.dispatch_cache == nullptr) {
+    fo.dispatch_cache = &kcache_;
+    if (fo.dispatch_plan == nullptr) {
+      fo.dispatch_plan = &plan_;
+      plan_.begin_replay();
+    }
+  }
+  return fo;
 }
 
 void SparseDirectSolver::factor(gpusim::Device& dev) {
   IRRLU_CHECK_MSG(analyzed_, "factor() requires analyze()");
-  factor_ =
-      std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_, opts_.factor);
+  factor_ = std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_,
+                                                 factor_options());
 }
 
 void SparseDirectSolver::refactor(gpusim::Device& dev,
@@ -90,8 +106,8 @@ void SparseDirectSolver::refactor(gpusim::Device& dev,
   const CsrMatrix aq =
       a_new.scaled(mc64_.dr, mc64_.dc).permute_columns(mc64_.col_of_row);
   a_prep_ = aq.permute_symmetric(ord_.perm);
-  factor_ =
-      std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_, opts_.factor);
+  factor_ = std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_,
+                                                 factor_options());
 }
 
 SolveReport SparseDirectSolver::solve_report(

@@ -153,6 +153,15 @@ class SparseDirectSolver {
 
   const SymbolicAnalysis& symbolic() const { return sym_; }
   const MultifrontalFactor& numeric() const { return *factor_; }
+  /// Solver-owned interleaved-dispatch state (see FactorOptions): the
+  /// kernel registry and the recorded resolution sequence live as long as
+  /// the solver, so every same-pattern refactor() replays its dispatch
+  /// (plan hits) instead of re-hashing — and a service session that owns
+  /// this solver gets pattern-keyed dispatch reuse by construction.
+  /// Cumulative across factor()/refactor() calls; per-factorization deltas
+  /// are in numeric().report().
+  const batch::KernelCache& dispatch_cache() const { return kcache_; }
+  const batch::DispatchPlan& dispatch_plan() const { return plan_; }
   std::vector<LevelStats> level_stats() const;
   /// Whether the last analyze() actually applied MC64 scaling (false when
   /// disabled by options *or* when MC64 found the matrix structurally
@@ -161,7 +170,13 @@ class SparseDirectSolver {
   bool mc64_active() const { return mc64_active_; }
 
  private:
+  /// opts_.factor augmented with the solver-owned dispatch cache/plan
+  /// (unless the caller wired their own); arms the plan replay.
+  FactorOptions factor_options();
+
   const SolverOptions opts_;
+  batch::KernelCache kcache_;  ///< interleaved-kernel registry
+  batch::DispatchPlan plan_;   ///< recorded dispatch of this pattern
   CsrMatrix a_;        ///< original matrix
   CsrMatrix a_prep_;   ///< scaled, column-permuted, symmetrically permuted
   ordering::Mc64Result mc64_;

@@ -1,0 +1,95 @@
+// Doc-consistency check for benchmark artifacts: every `BENCH_*.json`
+// file name mentioned anywhere in the repo documentation or the CI
+// workflow must exist at the repository root and parse as a JSON object
+// carrying a "schema" field. PR 8 grew out of exactly this failure mode:
+// BENCH_service.json was referenced by README/CHANGES/EXPERIMENTS and
+// uploaded by CI, but the artifact itself was never committed — nothing
+// noticed until a reader followed the link. Registered as a ctest (see
+// tools/CMakeLists.txt) with the repo root as working directory, so the
+// drift is caught the moment a doc gains a reference or an artifact is
+// dropped. Exits nonzero listing every violation.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+// Files scanned for artifact references. Relative to the working
+// directory, which the ctest registration pins to the repo root.
+const char* const kDocs[] = {
+    "README.md",    "EXPERIMENTS.md", "DESIGN.md",
+    "ROADMAP.md",   "CHANGES.md",     ".github/workflows/ci.yml",
+};
+
+bool token_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Every maximal token of the form BENCH_<word>.json in `text`.
+void collect_refs(const std::string& text, std::set<std::string>& out) {
+  const std::string prefix = "BENCH_";
+  for (std::size_t pos = text.find(prefix); pos != std::string::npos;
+       pos = text.find(prefix, pos + 1)) {
+    // Reject a partial match inside a longer identifier (e.g. FOO_BENCH_).
+    if (pos > 0 && token_char(text[pos - 1])) continue;
+    std::size_t end = pos + prefix.size();
+    while (end < text.size() && token_char(text[end])) ++end;
+    if (text.compare(end, 5, ".json") == 0)
+      out.insert(text.substr(pos, end + 5 - pos));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::set<std::string> refs;
+  int failures = 0;
+  for (const char* doc : kDocs) {
+    std::ifstream in(doc);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot open %s (run from the repo root)\n",
+                   doc);
+      ++failures;
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::set<std::string> here;
+    collect_refs(ss.str(), here);
+    for (const auto& r : here) std::printf("%-24s referenced by %s\n",
+                                           r.c_str(), doc);
+    refs.insert(here.begin(), here.end());
+  }
+
+  for (const auto& name : refs) {
+    // Ignore explicit non-root paths (e.g. build/BENCH_foo.quick.json
+    // would not match the token grammar anyway, but be safe).
+    try {
+      const irrlu::json::Value v = irrlu::json::parse_file(name);
+      if (!v.is_object() || v.find("schema") == nullptr) {
+        std::fprintf(stderr,
+                     "FAIL: %s parses but has no top-level \"schema\"\n",
+                     name.c_str());
+        ++failures;
+      }
+    } catch (const irrlu::Error& e) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", name.c_str(), e.what());
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d bench-doc violation(s)\n", failures);
+    return 1;
+  }
+  std::printf("ok: %zu artifact(s) referenced, all present and parse\n",
+              refs.size());
+  return 0;
+}
