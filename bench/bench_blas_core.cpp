@@ -398,6 +398,7 @@ int main(int argc, char** argv) {
   irrlu::json::Writer w(f);
   w.begin_object();
   w.kv("schema", "irrlu-bench-blas-v1");
+  irrlu::bench::write_bench_meta(w);
   w.kv("unit", "ns");
   w.key("classes");
   w.begin_array();

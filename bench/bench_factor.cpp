@@ -378,6 +378,7 @@ int main(int argc, char** argv) {
   json::Writer w(f);
   w.begin_object();
   w.kv("schema", "irrlu-bench-factor-v1");
+  bench::write_bench_meta(w);
   w.kv("device", device);
   w.kv_int("repeats", repeats);
   w.key("points");

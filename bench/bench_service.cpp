@@ -263,6 +263,7 @@ int main(int argc, char** argv) {
   json::Writer w(f);
   w.begin_object();
   w.kv("schema", "irrlu-bench-service-v1");
+  bench::write_bench_meta(w);
   w.kv("device", device);
   w.kv_int("n", n);
   w.key("manyrhs");

@@ -7,12 +7,20 @@
 // runs.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "gpusim/device.hpp"
@@ -58,6 +66,47 @@ inline double gflops(double flops, double seconds) {
   return seconds > 0 ? flops / seconds / 1e9 : 0.0;
 }
 
+/// The commit the benchmark binary ran against: GITHUB_SHA when CI set
+/// it, otherwise `git rev-parse HEAD`, otherwise "unknown" (tarball
+/// builds). Never throws.
+inline std::string bench_git_sha() {
+  if (const char* sha = std::getenv("GITHUB_SHA"); sha != nullptr && *sha)
+    return sha;
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    const std::size_t got = fread(buf, 1, sizeof buf - 1, p);
+    const int rc = pclose(p);
+    buf[got] = '\0';
+    if (char* nl = std::strchr(buf, '\n')) *nl = '\0';
+    if (rc == 0 && std::strlen(buf) >= 7) return buf;
+  }
+#endif
+  return "unknown";
+}
+
+/// Emits the "meta" provenance object every BENCH_*.json carries (see the
+/// schema docs below): the git commit, the UTC generation timestamp, and
+/// the hostname. Call between kv("schema", ...) and the payload keys.
+inline void write_bench_meta(json::Writer& w) {
+  w.key("meta");
+  w.begin_object(/*compact=*/true);
+  w.kv("git_sha", bench_git_sha());
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm tm{}; gmtime_r(&now, &tm) != nullptr)
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  w.kv("generated_utc", stamp);
+  char host[256] = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  if (gethostname(host, sizeof host - 1) != 0)
+    std::strcpy(host, "unknown");
+  host[sizeof host - 1] = '\0';
+#endif
+  w.kv("hostname", host);
+  w.end_object();
+}
+
 /// Standard tracing hook for the driver binaries: `--trace path.json`
 /// (or the IRRLU_TRACE environment variable) attaches a recorder to `dev`
 /// and writes the Chrome trace plus the "irrlu-trace-summary-v2" JSON on
@@ -95,11 +144,11 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 }
 
 // ---------------------------------------------------------------------------
-// Trace summary schema ("irrlu-trace-summary-v2", written by
+// Trace summary schema ("irrlu-trace-summary-v3", written by
 // trace::write_summary_json next to every Chrome trace; read back with
-// trace::read_summary_json, which also accepts v1 files). Top level:
+// trace::read_summary_json, which also accepts v1/v2 files). Top level:
 //
-//   schema            "irrlu-trace-summary-v2"
+//   schema            "irrlu-trace-summary-v3"
 //   device            DeviceModel name the run simulated
 //   peak_gflops       roofline compute peak (num_sms * peak_flops_per_sm *
 //                     compute_efficiency)
@@ -133,6 +182,28 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 //   tags              one entry per allocation tag, sorted by peak_bytes
 //                     descending: {tag, allocs, frees, current_bytes,
 //                     peak_bytes, lifetime_bytes}
+//
+// v3 adds two more optional objects (set IRRLU_TRACE_ANALYSIS=0 to
+// suppress the first; both are read back with present=false on absence):
+//
+//   analysis          critical-path / utilization / what-if results from
+//                     trace::analyze_trace (trace/analysis.hpp; read back
+//                     with trace::read_analysis_summary). Present when the
+//                     run recorded launches. Keys: valid, caveat?,
+//                     makespan_s, critical_path_s, path_nodes,
+//                     kernels[] and scopes[] (top-10 on-path contributors:
+//                     {name, launches, seconds, run_s, stall_s, slack_s}),
+//                     streams[] ({stream, launches, busy_s, idle_s,
+//                     busy_fraction, gaps, largest_gap_s, waits_on[]}),
+//                     what_if[] ({kind, target, k, projected_s, speedup,
+//                     bound})
+//   histograms        the Tracer's latency-histogram registry
+//                     (trace/histogram.hpp; read back with
+//                     trace::read_histograms_summary). Present when any
+//                     phase observed a latency. One key per metric
+//                     ("service.factor_s", "solve.refine_s", ...):
+//                     {count, sum, min, max, p50, p90, p99, underflow?,
+//                     buckets[] ({le, count}, log-spaced, 8 per octave)}
 // ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------
@@ -142,9 +213,21 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 //
 //   {
 //     "schema":  "irrlu-bench-blas-v1",
+//     "meta":    { provenance stamp, see below },
 //     "unit":    "ns",
 //     "classes": [ <class>, ... ]
 //   }
+//
+// Every BENCH_*.json carries the same "meta" object (write_bench_meta):
+//
+//   git_sha          commit of the producing build (GITHUB_SHA in CI,
+//                    `git rev-parse HEAD` locally, "unknown" otherwise)
+//   generated_utc    ISO-8601 UTC generation time
+//   hostname         machine that produced the numbers (wall-clock columns
+//                    are machine-dependent; compare only same-host runs)
+//
+// tools/bench_compare ignores "meta" when gating (timestamps and hosts
+// differ between baseline and candidate by construction).
 //
 // Each <class> is one shape class from the Figure-13-style front-size
 // distribution (leaf / mid / sep / root representative (s, u) pairs mapped

@@ -5,6 +5,13 @@
 //   build/examples/service_demo [--requests N] [--flush-window W]
 //                               [--patterns P] [--budget-mb M]
 //                               [--max-cached K] [--device NAME]
+//                               [--trace out.json]
+//
+// --trace (or the IRRLU_TRACE environment variable) attaches a recorder
+// and writes the Chrome trace plus the v3 summary JSON — including the
+// critical-path analysis and the service's per-phase/per-tenant latency
+// histograms — on exit; the per-tenant table then gains p50/p90/p99
+// latency columns from the same registry.
 //
 // The replay stream models the paper's motivating applications: a few
 // distinct sparsity patterns (one per tenant — an electromagnetics mesh, a
@@ -23,6 +30,8 @@
 #include "service/solver_service.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/solver.hpp"
+#include "trace/histogram.hpp"
+#include "trace/session.hpp"
 
 using namespace irrlu;
 using service::SolveRequest;
@@ -56,6 +65,7 @@ int main(int argc, char** argv) {
   const std::string device = args.get_string("device", "a100");
 
   gpusim::Device dev(model_by_name(device));
+  trace::TraceSession trace_session(dev, args.get_string("trace", ""));
   service::ServiceOptions opts;
   opts.solver.nd.leaf_size = 16;
   opts.max_cached_patterns = static_cast<std::size_t>(max_cached);
@@ -142,12 +152,32 @@ int main(int argc, char** argv) {
               st.evictions, st.rejected);
 
   std::printf("\nper-tenant:\n");
-  std::printf("  %-10s %9s %14s %14s %9s\n", "tenant", "requests",
-              "symbolic hits", "factor reuses", "rejected");
-  for (const auto& [tenant, t] : st.tenants)
-    std::printf("  %-10s %9ld %14ld %14ld %9ld\n", tenant.c_str(), t.requests,
+  const bool traced = trace_session.enabled();
+  std::printf(traced ? "  %-10s %9s %14s %14s %9s %10s %10s %10s\n"
+                     : "  %-10s %9s %14s %14s %9s\n",
+              "tenant", "requests", "symbolic hits", "factor reuses",
+              "rejected", "p50 ms", "p90 ms", "p99 ms");
+  for (const auto& [tenant, t] : st.tenants) {
+    std::printf("  %-10s %9ld %14ld %14ld %9ld", tenant.c_str(), t.requests,
                 t.symbolic_hits, t.factor_reuses, t.rejected);
+    if (traced) {
+      // Simulated-latency percentiles from the tracer's histogram
+      // registry (the same data the summary JSON's "histograms" carries).
+      const trace::Histogram& h = trace_session.tracer()->histogram(
+          "service.tenant." + tenant + ".latency_s");
+      std::printf(" %10.3f %10.3f %10.3f", h.percentile(0.50) * 1e3,
+                  h.percentile(0.90) * 1e3, h.percentile(0.99) * 1e3);
+    }
+    std::printf("\n");
+  }
 
   std::printf("\nsimulated device time: %.6f s\n", dev.synchronize_all());
+  if (traced) {
+    trace_session.write();
+    std::printf("trace written to %s (summary: %s, report: %s)\n",
+                trace_session.path().c_str(),
+                trace_session.summary_path().c_str(),
+                trace_session.report_path().c_str());
+  }
   return 0;
 }

@@ -79,6 +79,7 @@ void Device::begin_launch([[maybe_unused]] const LaunchConfig& cfg) {
 void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
   // Host dispatch is serialized on a single host timeline: each launch call
   // costs host_dispatch_overhead before the host can issue the next one.
+  const double host_before = host_time_;
   const double dispatch_done = host_time_ + model_.host_dispatch_overhead;
   host_time_ = dispatch_done;
 
@@ -200,22 +201,28 @@ void Device::end_launch(Stream& s, const LaunchConfig& cfg) {
     r.sim_start = first_start;
     r.sim_end = end;
     r.excl_seconds = excl;
-    r.host_issue = dispatch_done - model_.host_dispatch_overhead;
+    // The pre-dispatch host time, captured directly: reconstructing it as
+    // dispatch_done - overhead is not bitwise faithful in floating point,
+    // and the trace analyzer's replay fidelity check compares exactly.
+    r.host_issue = host_before;
     r.wall_seconds = launch_wall_seconds_;
     tracer_->on_launch(r);
   }
 }
 
 Event Device::record(Stream& s) {
+  // Ids are assigned traced or not, so attaching a tracer mid-run cannot
+  // alias an earlier (unrecorded) event's id.
+  const Event e(s.cursor_, next_event_id_++);
   if (tracer_ != nullptr)
-    tracer_->on_event(/*is_wait=*/false, s.id_, s.cursor_);
-  return Event(s.cursor_);
+    tracer_->on_event(/*is_wait=*/false, s.id_, s.cursor_, e.id_);
+  return e;
 }
 
 void Device::wait(Stream& s, const Event& e) {
   s.cursor_ = std::max(s.cursor_, e.time());
   if (tracer_ != nullptr)
-    tracer_->on_event(/*is_wait=*/true, s.id_, s.cursor_);
+    tracer_->on_event(/*is_wait=*/true, s.id_, s.cursor_, e.id_);
 }
 
 void Device::synchronize(Stream& s) {

@@ -103,16 +103,22 @@ class Stream {
 
 /// A recorded point on a stream's timeline (cudaEvent analogue). Obtained
 /// from Device::record(); other streams can wait on it, establishing
-/// cross-stream ordering without host synchronization.
+/// cross-stream ordering without host synchronization. Each recorded
+/// event carries a device-unique id so an attached tracer can tie a
+/// wait() back to the record() it depends on — the dependency edge the
+/// trace analyzer's DAG replay follows. A default-constructed Event has
+/// id -1 and time 0 (waiting on it is a no-op).
 class Event {
  public:
   Event() = default;
   double time() const { return time_; }
+  int id() const { return id_; }
 
  private:
   friend class Device;
-  explicit Event(double t) : time_(t) {}
+  Event(double t, int id) : time_(t), id_(id) {}
   double time_ = 0.0;
+  int id_ = -1;
 };
 
 /// Launch configuration for one kernel.
@@ -337,6 +343,7 @@ class Device {
   std::map<std::string, std::pair<std::string, unsigned>> launch_sites_;
 
   // --- accounting ---
+  int next_event_id_ = 0;  ///< record() ids; monotone over the lifetime
   long launch_count_ = 0;
   long sync_count_ = 0;
   double sync_wait_seconds_ = 0;

@@ -1,6 +1,7 @@
 #include "service/solver_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "trace/trace.hpp"
@@ -177,7 +178,15 @@ std::vector<SolveResponse> SolverService::flush() {
       fresh->pattern = rep.a;
       fresh->solver =
           std::make_unique<sparse::SparseDirectSolver>(opts_.solver);
+      // Analyze is host-only (no simulated device time), so its latency
+      // histogram records wall seconds.
+      const auto wall0 = std::chrono::steady_clock::now();
       fresh->solver->analyze(rep.a);  // host-only: safe before admission
+      if (auto* t = dev_.tracer())
+        t->observe("service.analyze_wall_s",
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall0)
+                       .count());
       fresh->predicted_peak = fresh->solver->symbolic().predicted_peak_bytes(
           opts_.solver.factor.memory);
       ++stats_.analyze_runs;
@@ -237,6 +246,7 @@ std::vector<SolveResponse> SolverService::flush() {
       auto factor_reused = [&](std::size_t i) {
         return run_reused || i != run.idx.front();
       };
+      double run_factor_s = 0;  // simulated; billed to the paying request
       if (!run_reused) {
         if (!admit(sess->predicted_peak, sess)) {
           for (std::size_t i : run.idx) {
@@ -257,6 +267,7 @@ std::vector<SolveResponse> SolverService::flush() {
           }
           continue;
         }
+        const double tf0 = dev_.host_time();
         if (sess->factored) {
           sess->solver->refactor(dev_, vrep.a);
           ++stats_.refactors;
@@ -266,6 +277,9 @@ std::vector<SolveResponse> SolverService::flush() {
           ++stats_.factors;
           bump("service.factors", 1);
         }
+        run_factor_s = dev_.host_time() - tf0;
+        if (auto* t = dev_.tracer())
+          t->observe("service.factor_s", run_factor_s);
         sess->vals = vrep.a.val();
         sess->factored = true;
       }
@@ -281,8 +295,11 @@ std::vector<SolveResponse> SolverService::flush() {
         bs.reserve(hi - lo);
         for (std::size_t k = lo; k < hi; ++k)
           bs.push_back(reqs[run.idx[k]].b);
+        const double ts0 = dev_.host_time();
         std::vector<sparse::SolveReport> reports =
             sess->solver->solve_report_many(bs);
+        const double batch_s = dev_.host_time() - ts0;
+        if (auto* t = dev_.tracer()) t->observe("service.solve_s", batch_s);
         ++stats_.batches;
         stats_.batched_rhs += static_cast<long>(bs.size());
         bump("service.batches", 1);
@@ -308,6 +325,12 @@ std::vector<SolveResponse> SolverService::flush() {
           bump_tenant(reqs[i].tenant, "requests", 1);
           if (hit) bump_tenant(reqs[i].tenant, "symbolic_hits", 1);
           if (reused) bump_tenant(reqs[i].tenant, "factor_reuses", 1);
+          // Per-tenant latency: this request's share of simulated device
+          // time — the batch it rode, plus the factorization if it was
+          // the request that paid for one.
+          if (auto* t = dev_.tracer())
+            t->observe("service.tenant." + reqs[i].tenant + ".latency_s",
+                       batch_s + (reused ? 0.0 : run_factor_s));
         }
       }
       sess->tick = ++lru_tick_;

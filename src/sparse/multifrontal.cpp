@@ -11,6 +11,7 @@
 #include "lapack/blas.hpp"
 #include "lapack/flops.hpp"
 #include "lapack/lapack.hpp"
+#include "trace/analysis.hpp"
 #include "trace/trace.hpp"
 
 namespace irrlu::sparse {
@@ -233,6 +234,10 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   const long l0 = dev.launch_count();
   const long s0 = dev.sync_count();
   const double w0 = dev.sync_wait_seconds();
+  // Launch-record window of this factorization, for the critical-path
+  // rollup below (the trace may already hold earlier work).
+  const std::size_t trace_l0 =
+      dev.tracer() != nullptr ? dev.tracer()->launches().size() : 0;
   auto& stream = dev.stream();
 
   FrontStorage storage(dev, sym, mode);
@@ -949,6 +954,19 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
                       static_cast<double>(report_.dispatch_plan_hits));
       tr->max_counter("dispatch.cached",
                       static_cast<double>(kcache->size()));
+    }
+    // Top critical-path contributors of this factorization's launch
+    // window (what-if replays skipped — they are the exporter's job).
+    trace::AnalysisOptions aopts;
+    aopts.what_ifs = false;
+    aopts.min_launch = trace_l0;
+    const trace::Analysis an = trace::analyze_trace(*tr, dev.model(), aopts);
+    if (an.valid) {
+      for (std::size_t i = 0; i < an.kernels.size() && i < 3; ++i) {
+        if (an.kernels[i].seconds <= 0) break;
+        report_.critical_path_top.push_back(
+            {an.kernels[i].name, an.kernels[i].seconds});
+      }
     }
   }
 }

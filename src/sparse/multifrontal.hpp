@@ -108,6 +108,15 @@ struct FactorReport {
   long dispatch_hits = 0;
   long dispatch_misses = 0;
   long dispatch_plan_hits = 0;
+  /// Top kernels on the critical path of this factorization's launch
+  /// window (up to 3, by on-path seconds, descending). Filled only when
+  /// a tracer was attached and the trace replayed cleanly (see
+  /// trace/analysis.hpp); empty otherwise.
+  struct PathContributor {
+    std::string name;
+    double seconds = 0;
+  };
+  std::vector<PathContributor> critical_path_top;
 };
 
 /// Owns the factored fronts (compact device storage) and performs solves.
@@ -173,6 +182,11 @@ class MultifrontalFactor {
 
   /// Numerical diagnostics collected during factorization.
   const FactorReport& report() const { return report_; }
+
+  /// The device this factorization ran on — lets callers time their own
+  /// phases (simulated clock, tracer histograms) without threading the
+  /// device reference alongside the factor.
+  gpusim::Device& device() const { return dev_; }
 
   /// Raw compact factor storage (every front's L11\U11 | U12 | L21 blocks
   /// concatenated in postorder) — read-only, the bit-identity oracle the

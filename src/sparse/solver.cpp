@@ -5,7 +5,9 @@
 #include <numeric>
 #include <utility>
 
+#include "gpusim/device.hpp"
 #include "ordering/graph.hpp"
+#include "trace/trace.hpp"
 
 namespace irrlu::sparse {
 
@@ -140,8 +142,16 @@ SolveReport SparseDirectSolver::solve_report(
     return x;
   };
 
+  // Phase latency feed for the tracer's histogram registry (simulated
+  // clock; the host-side solve path advances no simulated time and
+  // lands in the underflow bucket).
+  trace::Tracer* tr = factor_->device().tracer();
+  const double t_solve0 = tr != nullptr ? factor_->device().host_time() : 0;
+
   SolveReport rep;
   std::vector<double> x = solve_once(b);
+  const double t_refine0 = tr != nullptr ? factor_->device().host_time() : 0;
+  if (tr != nullptr) tr->observe("solve.initial_s", t_refine0 - t_solve0);
   double berr = a_.componentwise_residual(x.data(), b.data());
   rep.berr_history.push_back(berr);
   if (!std::isfinite(berr)) {
@@ -183,6 +193,9 @@ SolveReport SparseDirectSolver::solve_report(
     }
     if (stagnated) break;
   }
+
+  if (tr != nullptr && steps > 0)
+    tr->observe("solve.refine_s", factor_->device().host_time() - t_refine0);
 
   rep.refine_steps = steps;
   rep.x = std::move(best);

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "gpusim/device_model.hpp"
+#include "trace/analysis.hpp"
 #include "trace/memory.hpp"
 #include "trace/trace.hpp"
 
@@ -57,6 +58,8 @@ void write_chrome_trace(const std::string& path, const Tracer& tracer,
   meta_name_event(w, "process_name", 2, 0, "scopes", false);
   if (!tracer.mem_events().empty())
     meta_name_event(w, "process_name", 3, 0, "memory", false);
+  if (!tracer.launches().empty())
+    meta_name_event(w, "process_name", 4, 0, "utilization", false);
   meta_name_event(w, "thread_name", 0, 0, "host timeline", true);
   for (int s = 0; s <= tracer.max_stream_seen(); ++s)
     meta_name_event(w, "thread_name", 1, s,
@@ -172,6 +175,9 @@ void write_chrome_trace(const std::string& path, const Tracer& tracer,
 
   // --- memory counter tracks ----------------------------------------------
   write_memory_counter_events(w, tracer);
+
+  // --- per-stream busy-fraction counter tracks ----------------------------
+  write_utilization_counter_events(w, tracer);
 
   w.end_array();
   w.end_object();

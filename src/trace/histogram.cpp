@@ -1,0 +1,118 @@
+#include "trace/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "trace/trace.hpp"
+
+namespace irrlu::trace {
+
+int Histogram::bucket_index(double v) {
+  // ceil(log2(v) * kBucketsPerOctave), nudged down one step when the
+  // rounded answer's *previous* bound still covers v — log2 of an exact
+  // power of two is exact, but intermediate products may land a hair
+  // above an exact boundary.
+  int b = static_cast<int>(
+      std::ceil(std::log2(v) * static_cast<double>(kBucketsPerOctave)));
+  while (b > std::numeric_limits<int>::min() && bucket_upper(b - 1) >= v) --b;
+  while (bucket_upper(b) < v) ++b;
+  return b;
+}
+
+double Histogram::bucket_upper(int b) {
+  return std::exp2(static_cast<double>(b) /
+                   static_cast<double>(kBucketsPerOctave));
+}
+
+void Histogram::observe(double v) {
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  if (!(v > 0)) {  // <= 0 and NaN: underflow bucket
+    ++underflow_;
+    return;
+  }
+  ++buckets_[bucket_index(v)];
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  long rank = static_cast<long>(std::ceil(p * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  long seen = underflow_;  // underflow sorts below every positive bucket
+  if (rank <= seen) return 0.0;
+  for (const auto& [b, c] : buckets_) {
+    seen += c;
+    if (rank <= seen) return bucket_upper(b);
+  }
+  return bucket_upper(buckets_.rbegin()->first);  // rank == count_ fallback
+}
+
+void print_histogram_report(std::ostream& out, const Tracer& tracer) {
+  if (tracer.histograms().empty()) return;
+  out << "\nlatency histograms (log-bucketed; percentiles are bucket upper "
+         "bounds):\n";
+  TextTable table({"metric", "count", "mean", "p50", "p90", "p99", "max"});
+  for (const auto& [name, h] : tracer.histograms())
+    table.add_row(name, h.count(), TextTable::fmt(h.mean(), 6),
+                  TextTable::fmt(h.percentile(0.50), 6),
+                  TextTable::fmt(h.percentile(0.90), 6),
+                  TextTable::fmt(h.percentile(0.99), 6),
+                  TextTable::fmt(h.max(), 6));
+  table.print(out);
+}
+
+void write_histograms_json(json::Writer& w, const Tracer& tracer) {
+  w.begin_object();
+  for (const auto& [name, h] : tracer.histograms()) {
+    w.key(name);
+    w.begin_object(/*compact=*/true);
+    w.kv_int("count", h.count());
+    w.kv("sum", h.sum(), "%.12e");
+    w.kv("min", h.min(), "%.12e");
+    w.kv("max", h.max(), "%.12e");
+    w.kv("p50", h.percentile(0.50), "%.12e");
+    w.kv("p90", h.percentile(0.90), "%.12e");
+    w.kv("p99", h.percentile(0.99), "%.12e");
+    if (h.underflow() > 0) w.kv_int("underflow", h.underflow());
+    w.key("buckets");
+    w.begin_array(/*compact=*/true);
+    for (const auto& [b, c] : h.buckets()) {
+      w.begin_object(/*compact=*/true);
+      w.kv("le", Histogram::bucket_upper(b), "%.6e");
+      w.kv_int("count", c);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+HistogramsSummary read_histograms_summary(const std::string& summary_path) {
+  const json::Value doc = json::parse_file(summary_path);
+  HistogramsSummary out;
+  const json::Value* h = doc.find("histograms");
+  if (h == nullptr || !h->is_object()) return out;  // v1/v2: absent
+  out.present = true;
+  for (const auto& [name, v] : h->fields) {
+    HistogramRow row;
+    row.name = name;
+    row.count = static_cast<long>(v.number_or("count", 0));
+    row.sum = v.number_or("sum", 0);
+    row.min = v.number_or("min", 0);
+    row.max = v.number_or("max", 0);
+    row.p50 = v.number_or("p50", 0);
+    row.p90 = v.number_or("p90", 0);
+    row.p99 = v.number_or("p99", 0);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace irrlu::trace

@@ -1,0 +1,97 @@
+// Log-bucketed latency histograms and the Tracer-attached metrics
+// registry (DESIGN.md §13): fixed-ratio buckets (8 per octave, ~9%
+// resolution) keyed by integer bucket index, so two histograms built from
+// the same values are bit-identical regardless of observation order and a
+// percentile query is an exact statement about bucket bounds rather than
+// an interpolation. Fed by SolverService (per-phase and per-tenant
+// request latency) and by the trace analyzer (per-stream idle gaps);
+// exported into the text report and the "histograms" object of the
+// summary JSON (schema v3) with a parse-back reader.
+#pragma once
+
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace irrlu::json {
+class Writer;
+}
+
+namespace irrlu::trace {
+
+class Tracer;
+
+/// One log-bucketed distribution. Bucket b covers
+/// (upper(b-1), upper(b)] with upper(b) = 2^(b / kBucketsPerOctave);
+/// values <= 0 land in a dedicated underflow bucket with upper bound 0.
+/// count/sum/min/max are exact; a percentile is the upper bound of the
+/// bucket containing that rank (a guaranteed overestimate by at most one
+/// bucket ratio, ~9%).
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+
+  /// Smallest bucket index whose upper bound is >= v (v > 0).
+  static int bucket_index(double v);
+  /// Upper bound of bucket b: 2^(b / kBucketsPerOctave).
+  static double bucket_upper(int b);
+
+  void observe(double v);
+
+  long count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  long underflow() const { return underflow_; }  ///< observations <= 0
+
+  /// Value bound covering at least ceil(p * count) observations, p in
+  /// [0, 1]: the upper bound of the bucket holding that rank (0 when the
+  /// rank falls in the underflow bucket, or the histogram is empty).
+  double percentile(double p) const;
+
+  /// Occupied buckets (index -> count), ascending; underflow excluded.
+  const std::map<int, long>& buckets() const { return buckets_; }
+
+ private:
+  std::map<int, long> buckets_;
+  long count_ = 0;
+  long underflow_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One named histogram as exported to / parsed back from the summary
+/// JSON "histograms" object.
+struct HistogramRow {
+  std::string name;
+  long count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// The "histograms" object of a summary file, as read back.
+struct HistogramsSummary {
+  bool present = false;  ///< whether the file carried the object
+  std::vector<HistogramRow> rows;
+};
+
+/// Percentile table appended to the trace text report when the registry
+/// is non-empty.
+void print_histogram_report(std::ostream& out, const Tracer& tracer);
+
+/// Writes the "histograms" object value (the caller emits the key).
+void write_histograms_json(json::Writer& w, const Tracer& tracer);
+
+/// Reads the "histograms" object back from a summary JSON file; returns
+/// `present == false` when the file has none (v1/v2 files).
+HistogramsSummary read_histograms_summary(const std::string& summary_path);
+
+}  // namespace irrlu::trace

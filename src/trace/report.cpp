@@ -8,6 +8,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "gpusim/device_model.hpp"
+#include "trace/analysis.hpp"
 #include "trace/memory.hpp"
 #include "trace/trace.hpp"
 
@@ -96,6 +97,11 @@ void print_report(std::ostream& out, const Tracer& tracer,
   }
   if (!tracer.mem_events().empty() || !tracer.mem_tags().empty())
     print_memory_report(out, tracer);
+  const AnalysisOptions opts = analysis_options_from_env();
+  if (opts.enabled && !tracer.launches().empty())
+    print_analysis_report(out, analyze_trace(tracer, model, opts),
+                          opts.top_k);
+  if (!tracer.histograms().empty()) print_histogram_report(out, tracer);
 }
 
 void write_summary_json(const std::string& path, const Tracer& tracer,
@@ -108,7 +114,7 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
 
   json::Writer w(f);
   w.begin_object();
-  w.kv("schema", "irrlu-trace-summary-v2");
+  w.kv("schema", "irrlu-trace-summary-v3");
   w.kv("device", model.name);
   w.kv("peak_gflops", peak_flops / 1e9, "%.3f");
   w.kv("peak_gbs", model.mem_bandwidth / 1e9, "%.3f");
@@ -123,6 +129,15 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
   if (!tracer.mem_events().empty() || !tracer.mem_tags().empty()) {
     w.key("memory");
     write_memory_json(w, tracer);
+  }
+  const AnalysisOptions opts = analysis_options_from_env();
+  if (opts.enabled && !tracer.launches().empty()) {
+    w.key("analysis");
+    write_analysis_json(w, analyze_trace(tracer, model, opts));
+  }
+  if (!tracer.histograms().empty()) {
+    w.key("histograms");
+    write_histograms_json(w, tracer);
   }
   w.key("rows");
   w.begin_array();
@@ -151,11 +166,13 @@ void write_summary_json(const std::string& path, const Tracer& tracer,
 std::vector<SummaryRow> read_summary_json(const std::string& path) {
   const json::Value doc = json::parse_file(path);
   const std::string schema = doc.string_or("schema", "");
-  // v2 added the optional "memory" object; the row layout is unchanged,
-  // so the reader accepts both versions.
-  IRRLU_CHECK_MSG(
-      schema == "irrlu-trace-summary-v2" || schema == "irrlu-trace-summary-v1",
-      "trace: " << path << " is not an irrlu-trace-summary-v1/v2");
+  // v2 added the optional "memory" object, v3 the optional "analysis"
+  // and "histograms" objects; the row layout is unchanged throughout, so
+  // the reader accepts all three versions.
+  IRRLU_CHECK_MSG(schema == "irrlu-trace-summary-v3" ||
+                      schema == "irrlu-trace-summary-v2" ||
+                      schema == "irrlu-trace-summary-v1",
+                  "trace: " << path << " is not an irrlu-trace-summary-v1/v2/v3");
   const json::Value* rows = doc.find("rows");
   IRRLU_CHECK_MSG(rows != nullptr && rows->is_array(),
                   "trace: " << path << " has no rows array");

@@ -1,8 +1,10 @@
 // Aggregated counter reports over a Tracer: per (scope x kernel) rollups,
 // a human-readable table with achieved GF/s and GB/s against the
 // DeviceModel roofline, and a machine-readable summary JSON
-// ("irrlu-trace-summary-v2"; v2 added the optional "memory" object, see
-// trace/memory.hpp) consumed by the bench drivers.
+// ("irrlu-trace-summary-v3"; v2 added the optional "memory" object, see
+// trace/memory.hpp; v3 the optional "analysis" and "histograms" objects,
+// see trace/analysis.hpp and trace/histogram.hpp) consumed by the bench
+// drivers.
 #pragma once
 
 #include <iosfwd>
@@ -49,7 +51,7 @@ double excl_seconds_in_scope(const Tracer& tracer, const std::string& label);
 void print_report(std::ostream& out, const Tracer& tracer,
                   const gpusim::DeviceModel& model);
 
-/// Writes the "irrlu-trace-summary-v2" JSON (see bench_util.hpp for the
+/// Writes the "irrlu-trace-summary-v3" JSON (see bench_util.hpp for the
 /// schema documentation).
 void write_summary_json(const std::string& path, const Tracer& tracer,
                         const gpusim::DeviceModel& model);
@@ -66,8 +68,8 @@ struct SummaryRow {
   double excl_seconds = 0;
 };
 
-/// Reads a summary written by write_summary_json; accepts both the v1 and
-/// v2 schemas (throws irrlu::Error on any other schema).
+/// Reads a summary written by write_summary_json; accepts the v1, v2,
+/// and v3 schemas (throws irrlu::Error on any other schema).
 std::vector<SummaryRow> read_summary_json(const std::string& path);
 
 }  // namespace irrlu::trace

@@ -1,6 +1,7 @@
 #include "trace/session.hpp"
 
 #include <cstdlib>
+#include <fstream>
 
 #include "gpusim/device.hpp"
 #include "trace/chrome_trace.hpp"
@@ -26,18 +27,32 @@ TraceSession::~TraceSession() {
   if (dev_->tracer() == tracer_.get()) dev_->set_tracer(nullptr);
 }
 
-std::string TraceSession::summary_path() const {
+namespace {
+
+std::string sibling_path(const std::string& path, const std::string& ext) {
   const std::string suffix = ".json";
-  if (path_.size() > suffix.size() &&
-      path_.compare(path_.size() - suffix.size(), suffix.size(), suffix) == 0)
-    return path_.substr(0, path_.size() - suffix.size()) + ".summary.json";
-  return path_ + ".summary.json";
+  if (path.size() > suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0)
+    return path.substr(0, path.size() - suffix.size()) + ext;
+  return path + ext;
+}
+
+}  // namespace
+
+std::string TraceSession::summary_path() const {
+  return sibling_path(path_, ".summary.json");
+}
+
+std::string TraceSession::report_path() const {
+  return sibling_path(path_, ".report.txt");
 }
 
 void TraceSession::write() {
   if (!enabled()) return;
   write_chrome_trace(path_, *tracer_, dev_->model());
   write_summary_json(summary_path(), *tracer_, dev_->model());
+  std::ofstream report(report_path());
+  if (report) print_report(report, *tracer_, dev_->model());
 }
 
 }  // namespace irrlu::trace

@@ -4,7 +4,7 @@
 //   gpusim::Device dev(model);
 //   trace::TraceSession session(dev, args.get_string("trace", ""));
 //   ... run ...
-//   session.write();  // chrome trace + summary (also done by the dtor)
+//   session.write();  // chrome trace + summary + text report (dtor too)
 //
 // An empty path falls back to the IRRLU_TRACE environment variable; if
 // that is empty too, the session is disabled and the device runs exactly
@@ -36,9 +36,13 @@ class TraceSession {
   /// The summary lands next to the Chrome trace: "x.json" ->
   /// "x.summary.json" (otherwise ".summary.json" is appended).
   std::string summary_path() const;
+  /// The human-readable report (counter tables, critical-path analysis,
+  /// latency histograms): "x.json" -> "x.report.txt".
+  std::string report_path() const;
 
-  /// Writes the Chrome trace and the summary JSON. Idempotent; detaches
-  /// nothing (the run may continue and write() again with more data).
+  /// Writes the Chrome trace, the summary JSON, and the text report.
+  /// Idempotent; detaches nothing (the run may continue and write()
+  /// again with more data).
   void write();
 
  private:

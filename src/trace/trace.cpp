@@ -26,14 +26,15 @@ void Tracer::on_launch(const LaunchRecord& r) {
     return;
   }
   launches_.push_back(r);
+  launches_.back().seq = next_seq_++;
 }
 
 void Tracer::on_sync(int stream, double host_begin, double host_end) {
-  syncs_.push_back({stream, host_begin, host_end});
+  syncs_.push_back({next_seq_++, stream, host_begin, host_end});
 }
 
-void Tracer::on_event(bool is_wait, int stream, double time) {
-  events_.push_back({is_wait, stream, time});
+void Tracer::on_event(bool is_wait, int stream, double time, int event_id) {
+  events_.push_back({next_seq_++, is_wait, stream, event_id, time});
 }
 
 int Tracer::push_scope(std::string_view label) {
@@ -77,6 +78,16 @@ void Tracer::max_counter(std::string_view name, double value) {
   if (!inserted) it->second = std::max(it->second, value);
 }
 
+void Tracer::observe(std::string_view name, double value) {
+  histogram(name).observe(value);
+}
+
+Histogram& Tracer::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
 int Tracer::intern_mem_tag(std::string_view tag) {
   const auto it = mem_tag_ids_.find(std::string(tag));
   if (it != mem_tag_ids_.end()) return it->second;
@@ -109,6 +120,7 @@ void Tracer::record_mem_event(bool is_free, int tag, std::size_t bytes,
     return;
   }
   MemEventRecord r;
+  r.seq = next_seq_++;
   r.is_free = is_free;
   r.tag = tag;
   r.bytes = bytes;
@@ -155,6 +167,7 @@ void Tracer::clear() {
   launches_.clear();
   syncs_.clear();
   events_.clear();
+  next_seq_ = 0;
   dropped_ = 0;
   max_stream_ = 0;
   names_.clear();
@@ -164,6 +177,7 @@ void Tracer::clear() {
   scope_stack_.clear();
   current_scope_ = -1;
   counters_.clear();
+  histograms_.clear();
   mem_events_.clear();
   dropped_mem_ = 0;
   mem_tag_names_.clear();

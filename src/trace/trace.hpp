@@ -20,10 +20,13 @@
 #include <utility>
 #include <vector>
 
+#include "trace/histogram.hpp"
+
 namespace irrlu::trace {
 
 /// One kernel launch, as recorded by Device::end_launch.
 struct LaunchRecord {
+  long seq = 0;       ///< global record order across all record kinds
   int name_id = -1;   ///< index into Tracer::kernel_names()
   int scope = -1;     ///< innermost scope at enqueue time, -1 = none
   int stream = 0;
@@ -40,15 +43,21 @@ struct LaunchRecord {
 
 /// One host synchronization (synchronize / synchronize_all).
 struct SyncRecord {
+  long seq = 0;     ///< global record order across all record kinds
   int stream = -1;  ///< -1 = synchronize_all
   double host_begin = 0;
   double host_end = 0;
 };
 
 /// One Event operation on a stream timeline (Device::record / wait).
+/// `event_id` names the device Event (assigned by Device::record), so a
+/// wait record points at the record record it depends on — the
+/// cross-stream dependency edge the trace analyzer replays.
 struct EventRecord {
+  long seq = 0;          ///< global record order across all record kinds
   bool is_wait = false;  ///< false: record(); true: wait()
   int stream = 0;
+  int event_id = -1;     ///< device-unique Event id; -1 = unknown/default
   double time = 0;  ///< event time (record) / cursor after the wait (wait)
 };
 
@@ -64,6 +73,7 @@ struct ScopeNode {
 /// One device allocation or free, as recorded by Device::raw_alloc /
 /// raw_free while a tracer is attached.
 struct MemEventRecord {
+  long seq = 0;         ///< global record order across all record kinds
   bool is_free = false;
   int tag = -1;                 ///< index into Tracer::mem_tags(), -1 = none
   std::size_t bytes = 0;        ///< size of this allocation
@@ -96,7 +106,7 @@ class Tracer {
   int intern_kernel(const char* name);
   void on_launch(const LaunchRecord& r);
   void on_sync(int stream, double host_begin, double host_end);
-  void on_event(bool is_wait, int stream, double time);
+  void on_event(bool is_wait, int stream, double time, int event_id = -1);
   int push_scope(std::string_view label);
   void pop_scope(double wall_seconds);
   /// Named telemetry counters (e.g. numerical-robustness diagnostics fed
@@ -105,6 +115,15 @@ class Tracer {
   /// first use.
   void add_counter(std::string_view name, double value);
   void max_counter(std::string_view name, double value);
+  /// Log-bucketed latency histograms (the metrics registry): `observe`
+  /// records one sample under `name`, creating the histogram on first
+  /// use; `histogram` hands out the named histogram for direct queries.
+  /// Fed by the service layer (per-phase and per-tenant latency) and by
+  /// anything else with a Tracer pointer; exported as the summary JSON
+  /// "histograms" object (schema v3) and the text-report percentile
+  /// table. Pure bookkeeping like every other tracer channel.
+  void observe(std::string_view name, double value);
+  Histogram& histogram(std::string_view name);
   /// Memory timeline (fed by Device::raw_alloc / raw_free). Tags are
   /// interned like kernel names; `on_alloc`/`on_free` stamp the real-time
   /// clock internally (relative to tracer creation) so the device never
@@ -132,6 +151,9 @@ class Tracer {
   long dropped_launches() const { return dropped_; }
   int max_stream_seen() const { return max_stream_; }
   const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
   const std::vector<MemEventRecord>& mem_events() const { return mem_events_; }
   const std::vector<std::string>& mem_tags() const { return mem_tag_names_; }
@@ -158,6 +180,7 @@ class Tracer {
   std::vector<SyncRecord> syncs_;
   std::vector<EventRecord> events_;
   std::size_t max_launches_;
+  long next_seq_ = 0;  ///< stamped on every recorded record, all kinds
   long dropped_ = 0;
   int max_stream_ = 0;
 
@@ -170,6 +193,7 @@ class Tracer {
   int current_scope_ = -1;
 
   std::map<std::string, double> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 
   std::vector<MemEventRecord> mem_events_;
   std::size_t max_mem_events_;

@@ -182,6 +182,10 @@ TEST(MemTrace, ChromeTraceCarriesCounterTracks) {
   bool saw_tag_track = false;
   for (const ChromeEvent& e : read_chrome_trace(path)) {
     if (e.ph != "C") continue;
+    if (e.cat == "utilization") {  // per-stream busy counters (pid 4)
+      EXPECT_EQ(e.pid, 4);
+      continue;
+    }
     EXPECT_EQ(e.pid, 3);  // memory counters live on their own pid
     EXPECT_EQ(e.cat, "memory");
     if (e.name == "bytes_in_use") max_total = std::max(max_total, e.arg_bytes);

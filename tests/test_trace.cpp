@@ -15,7 +15,9 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "gpusim/device.hpp"
+#include "trace/analysis.hpp"
 #include "trace/chrome_trace.hpp"
+#include "trace/histogram.hpp"
 #include "trace/report.hpp"
 #include "trace/session.hpp"
 #include "trace/trace.hpp"
@@ -521,6 +523,113 @@ TEST(Summary, ReaderRejectsWrongSchema) {
   std::fputs("{\"schema\": \"something-else\", \"rows\": []}", f);
   std::fclose(f);
   EXPECT_THROW(read_summary_json(path), Error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Exporter edge cases: empty traces, capped traces, old schema versions
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, EmptyTraceWritesParsableFiles) {
+  // A device that never launched still produces well-formed artifacts:
+  // the chrome trace parses (no events), the summary parses (no rows),
+  // and the optional v3 objects are simply absent.
+  Device dev(DeviceModel::test_tiny());
+  Tracer t;
+  dev.set_tracer(&t);
+  dev.set_tracer(nullptr);
+
+  const std::string chrome = tmp_path("empty_chrome");
+  const std::string summary = tmp_path("empty_summary");
+  write_chrome_trace(chrome, t, dev.model());
+  write_summary_json(summary, t, dev.model());
+
+  EXPECT_NO_THROW(read_chrome_trace(chrome));
+  EXPECT_TRUE(read_summary_json(summary).empty());
+  EXPECT_FALSE(read_analysis_summary(summary).present);
+  EXPECT_FALSE(read_histograms_summary(summary).present);
+  std::remove(chrome.c_str());
+  std::remove(summary.c_str());
+}
+
+TEST(Exporters, CappedTraceReportsInvalidAnalysisWithCaveat) {
+  // Once the launch cap drops records the dependency DAG is incomplete;
+  // the exported analysis must say so instead of publishing wrong
+  // numbers.
+  Device dev(DeviceModel::test_tiny());
+  Tracer t(/*reserve_launches=*/2, /*max_launches=*/2);
+  dev.set_tracer(&t);
+  run_program(dev);
+  dev.set_tracer(nullptr);
+  ASSERT_GT(t.dropped_launches(), 0);
+
+  const std::string path = tmp_path("capped_summary");
+  write_summary_json(path, t, dev.model());
+  const AnalysisSummary a = read_analysis_summary(path);
+  ASSERT_TRUE(a.present);  // the object is written, flagged invalid
+  EXPECT_FALSE(a.valid);
+  EXPECT_NE(a.caveat.find("capped"), std::string::npos) << a.caveat;
+  EXPECT_TRUE(a.kernels.empty());
+  EXPECT_FALSE(a.streams.empty());  // utilization survives the cap
+  std::remove(path.c_str());
+}
+
+TEST(Summary, ReaderAcceptsV1AndV2Files) {
+  // Files written before the "memory" (v2) and "analysis"/"histograms"
+  // (v3) objects existed must keep parsing, and the v3 object readers
+  // must report absence rather than inventing data.
+  const char* const docs[] = {
+      "{\"schema\": \"irrlu-trace-summary-v1\", \"device\": \"old\",\n"
+      " \"rows\": [{\"scope\": \"s\", \"kernel\": \"k\", \"launches\": 2,\n"
+      "   \"blocks\": 8, \"flops\": 100.0, \"bytes\": 50.0,\n"
+      "   \"sim_seconds\": 0.5, \"excl_seconds\": 0.25}]}",
+      "{\"schema\": \"irrlu-trace-summary-v2\", \"device\": \"old\",\n"
+      " \"memory\": {\"peak_bytes\": 0},\n"
+      " \"rows\": [{\"scope\": \"s\", \"kernel\": \"k\", \"launches\": 2,\n"
+      "   \"blocks\": 8, \"flops\": 100.0, \"bytes\": 50.0,\n"
+      "   \"sim_seconds\": 0.5, \"excl_seconds\": 0.25}]}",
+  };
+  int version = 1;
+  for (const char* doc : docs) {
+    const std::string path =
+        tmp_path("oldschema_v" + std::to_string(version++));
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(doc, f);
+    std::fclose(f);
+
+    const std::vector<SummaryRow> rows = read_summary_json(path);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].kernel, "k");
+    EXPECT_EQ(rows[0].launches, 2);
+    EXPECT_DOUBLE_EQ(rows[0].sim_seconds, 0.5);
+    EXPECT_FALSE(read_analysis_summary(path).present);
+    EXPECT_FALSE(read_histograms_summary(path).present);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Summary, V3RoundTripCarriesAnalysisAndHistograms) {
+  Device dev(DeviceModel::test_tiny());
+  Tracer t;
+  dev.set_tracer(&t);
+  run_program(dev);
+  t.observe("phase.demo_s", 0.5);
+  dev.set_tracer(nullptr);
+
+  const std::string path = tmp_path("v3_roundtrip");
+  write_summary_json(path, t, dev.model());
+  EXPECT_FALSE(read_summary_json(path).empty());
+  const AnalysisSummary a = read_analysis_summary(path);
+  ASSERT_TRUE(a.present);
+  EXPECT_TRUE(a.valid);
+  EXPECT_GT(a.makespan, 0.0);
+  EXPECT_FALSE(a.streams.empty());
+  const HistogramsSummary h = read_histograms_summary(path);
+  ASSERT_TRUE(h.present);
+  ASSERT_EQ(h.rows.size(), 1u);
+  EXPECT_EQ(h.rows[0].name, "phase.demo_s");
+  EXPECT_EQ(h.rows[0].count, 1);
   std::remove(path.c_str());
 }
 

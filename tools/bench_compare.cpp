@@ -1,0 +1,259 @@
+// bench_compare: the benchmark regression gate.
+//
+//   bench_compare <baseline.json> <candidate.json> [--threshold f]
+//   bench_compare --self-check <file.json> [--threshold f]
+//
+// Compares two BENCH_*.json artifacts (bench_util.hpp schemas) metric by
+// metric and exits nonzero on a regression. The comparison is structural:
+// every numeric leaf of the baseline must exist at the same path in the
+// candidate (a vanished metric is a regression — renames must update the
+// baseline artifact in the same change). Leaves are classified by key
+// name:
+//
+//   larger-is-worse   *_ns, *_s (timing medians and totals): candidate
+//                     may exceed baseline by at most the per-metric noise
+//                     threshold (default 25% — the medians are wall-clock
+//                     on shared machines; deterministic *_sim_s columns
+//                     use a tight 1e-9 relative tolerance instead)
+//   larger-is-better  *speedup*, *gflops*, *hit_rate*, *ratio*: candidate
+//                     may fall short of baseline by at most the threshold
+//   info-only         counts, sizes, booleans, strings: reported when
+//                     different, never gated
+//
+// The "meta" provenance object (git_sha/generated_utc/hostname) is
+// skipped entirely — it differs between any two honest artifacts.
+//
+// --self-check gates the gate itself: <file> vs itself must pass, and
+// <file> vs a copy with every gated metric perturbed past the threshold
+// must fail. CI runs this against the committed artifacts so a silently
+// broken comparator cannot wave regressions through.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+using irrlu::json::Value;
+
+enum class Metric { kLargerWorse, kLargerBetter, kInfo };
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+Metric classify(const std::string& key) {
+  if (contains(key, "speedup") || contains(key, "gflops") ||
+      contains(key, "hit_rate") || contains(key, "ratio"))
+    return Metric::kLargerBetter;
+  if (ends_with(key, "_ns") || ends_with(key, "_s"))
+    return Metric::kLargerWorse;
+  return Metric::kInfo;
+}
+
+/// Deterministic simulated-seconds columns: equal between honest runs of
+/// the same build, so noise tolerance does not apply.
+bool is_deterministic(const std::string& key) {
+  return ends_with(key, "sim_s");
+}
+
+struct Gate {
+  double threshold = 0.25;  ///< relative noise allowance for wall metrics
+  int compared = 0;
+  int infos = 0;
+  std::vector<std::string> regressions;
+
+  void check(const std::string& path, const std::string& key, double base,
+             double cand) {
+    const Metric m = classify(key);
+    if (m == Metric::kInfo) {
+      if (base != cand) ++infos;
+      return;
+    }
+    ++compared;
+    const double tol = is_deterministic(key) ? 1e-9 : threshold;
+    char buf[512];
+    if (m == Metric::kLargerWorse) {
+      if (cand > base * (1.0 + tol) + 1e-300) {
+        std::snprintf(buf, sizeof buf,
+                      "%s: %.6g -> %.6g (+%.1f%%, allowed +%.1f%%)",
+                      path.c_str(), base, cand, (cand / base - 1.0) * 100,
+                      tol * 100);
+        regressions.emplace_back(buf);
+      }
+    } else {
+      if (cand < base * (1.0 - tol) - 1e-300) {
+        std::snprintf(buf, sizeof buf,
+                      "%s: %.6g -> %.6g (-%.1f%%, allowed -%.1f%%)",
+                      path.c_str(), base, cand, (1.0 - cand / base) * 100,
+                      tol * 100);
+        regressions.emplace_back(buf);
+      }
+    }
+  }
+};
+
+/// Walks the baseline tree; every numeric leaf must exist in the
+/// candidate at the same path and pass its gate. Extra candidate keys
+/// are fine (new metrics need no baseline yet).
+void compare(const Value& base, const Value& cand, const std::string& path,
+             const std::string& key, Gate& g) {
+  if (base.type != cand.type) {
+    g.regressions.push_back(path + ": type changed");
+    return;
+  }
+  switch (base.type) {
+    case Value::Type::kObject:
+      for (const auto& [k, v] : base.fields) {
+        if (k == "meta") continue;  // provenance: differs by construction
+        const Value* cv = cand.find(k);
+        if (cv == nullptr) {
+          g.regressions.push_back(path + "/" + k + ": missing in candidate");
+          continue;
+        }
+        compare(v, *cv, path + "/" + k, k, g);
+      }
+      break;
+    case Value::Type::kArray: {
+      if (base.items.size() != cand.items.size()) {
+        g.regressions.push_back(path + ": array length " +
+                                std::to_string(base.items.size()) + " -> " +
+                                std::to_string(cand.items.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < base.items.size(); ++i)
+        compare(base.items[i], cand.items[i],
+                path + "[" + std::to_string(i) + "]", key, g);
+      break;
+    }
+    case Value::Type::kNumber:
+      g.check(path, key, base.number, cand.number);
+      break;
+    default:
+      break;  // strings/bools/null: schema markers, not metrics
+  }
+}
+
+int run_compare(const Value& base, const Value& cand, double threshold,
+                bool quiet) {
+  Gate g;
+  g.threshold = threshold;
+  const std::string bs = base.string_or("schema", "");
+  const std::string cs = cand.string_or("schema", "");
+  if (bs.empty() || bs != cs) {
+    if (!quiet)
+      std::fprintf(stderr, "bench_compare: schema mismatch: '%s' vs '%s'\n",
+                   bs.c_str(), cs.c_str());
+    return 2;
+  }
+  compare(base, cand, "", "", g);
+  if (!g.regressions.empty()) {
+    if (!quiet) {
+      std::fprintf(stderr, "bench_compare: %zu regression(s) [%s]:\n",
+                   g.regressions.size(), bs.c_str());
+      for (const std::string& r : g.regressions)
+        std::fprintf(stderr, "  %s\n", r.c_str());
+    }
+    return 1;
+  }
+  if (!quiet)
+    std::printf("bench_compare: OK [%s] — %d gated metrics within "
+                "threshold, %d info-only differences\n",
+                bs.c_str(), g.compared, g.infos);
+  return 0;
+}
+
+/// Multiplies every gated metric past its threshold, in place.
+void perturb(Value& v, const std::string& key, double threshold) {
+  switch (v.type) {
+    case Value::Type::kObject:
+      for (auto& [k, child] : v.fields) {
+        if (k == "meta") continue;
+        perturb(child, k, threshold);
+      }
+      break;
+    case Value::Type::kArray:
+      for (Value& item : v.items) perturb(item, key, threshold);
+      break;
+    case Value::Type::kNumber: {
+      const Metric m = classify(key);
+      const double tol =
+          is_deterministic(key) ? 1e-9 : threshold;
+      if (m == Metric::kLargerWorse)
+        v.number = v.number * (1.0 + 2 * tol) + 1e-12;
+      else if (m == Metric::kLargerBetter)
+        v.number = v.number * (1.0 - std::min(2 * tol, 0.999)) - 1e-12;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+int self_check(const Value& doc, double threshold) {
+  if (run_compare(doc, doc, threshold, /*quiet=*/true) != 0) {
+    std::fprintf(stderr,
+                 "bench_compare: self-check FAILED — identical artifacts "
+                 "did not pass\n");
+    return 1;
+  }
+  Value worse = doc;
+  perturb(worse, "", threshold);
+  if (run_compare(doc, worse, threshold, /*quiet=*/true) == 0) {
+    std::fprintf(stderr,
+                 "bench_compare: self-check FAILED — perturbed artifact "
+                 "was not flagged\n");
+    return 1;
+  }
+  std::printf("bench_compare: self-check OK [%s]\n",
+              doc.string_or("schema", "?").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    double threshold = 0.25;
+    std::vector<std::string> files;
+    bool self = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--self-check") {
+        self = true;
+      } else if (arg == "--threshold") {
+        IRRLU_CHECK_MSG(i + 1 < argc, "--threshold needs a value");
+        threshold = std::atof(argv[++i]);
+        IRRLU_CHECK_MSG(threshold > 0, "--threshold must be > 0");
+      } else {
+        files.push_back(arg);
+      }
+    }
+    if (self) {
+      IRRLU_CHECK_MSG(files.size() == 1,
+                      "usage: bench_compare --self-check <file.json>");
+      return self_check(irrlu::json::parse_file(files[0]), threshold);
+    }
+    IRRLU_CHECK_MSG(
+        files.size() == 2,
+        "usage: bench_compare <baseline.json> <candidate.json> "
+        "[--threshold f] | bench_compare --self-check <file.json>");
+    return run_compare(irrlu::json::parse_file(files[0]),
+                       irrlu::json::parse_file(files[1]), threshold,
+                       /*quiet=*/false);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

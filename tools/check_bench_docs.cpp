@@ -1,7 +1,8 @@
 // Doc-consistency check for benchmark artifacts: every `BENCH_*.json`
 // file name mentioned anywhere in the repo documentation or the CI
 // workflow must exist at the repository root and parse as a JSON object
-// carrying a "schema" field. PR 8 grew out of exactly this failure mode:
+// carrying a "schema" field and a "meta" provenance object
+// (git_sha/generated_utc/hostname, see bench_util.hpp). PR 8 grew out of exactly this failure mode:
 // BENCH_service.json was referenced by README/CHANGES/EXPERIMENTS and
 // uploaded by CI, but the artifact itself was never committed — nothing
 // noticed until a reader followed the link. Registered as a ctest (see
@@ -78,6 +79,20 @@ int main() {
                      "FAIL: %s parses but has no top-level \"schema\"\n",
                      name.c_str());
         ++failures;
+      } else {
+        // Provenance stamp (bench_util.hpp write_bench_meta): every
+        // committed artifact must say which commit/machine produced it.
+        const irrlu::json::Value* meta = v.find("meta");
+        if (meta == nullptr || !meta->is_object() ||
+            meta->find("git_sha") == nullptr ||
+            meta->find("generated_utc") == nullptr ||
+            meta->find("hostname") == nullptr) {
+          std::fprintf(stderr,
+                       "FAIL: %s has no \"meta\" provenance object "
+                       "(git_sha/generated_utc/hostname)\n",
+                       name.c_str());
+          ++failures;
+        }
       }
     } catch (const irrlu::Error& e) {
       std::fprintf(stderr, "FAIL: %s: %s\n", name.c_str(), e.what());
