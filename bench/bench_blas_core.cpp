@@ -147,6 +147,7 @@ struct IlvClass {
   la::Uplo uplo = la::Uplo::Lower;
   la::Diag diag = la::Diag::NonUnit;
   int m = 0, n = 0, k = 0, batch = 0;
+  std::string prec = "f64";  // "f64" | "f32" — element type of both sides
   double flops() const {
     const double per =
         op == "gemm"   ? la::gemm_flops(m, n, k)
@@ -165,22 +166,24 @@ struct IlvResult {
 
 /// Packs a uniform strided batch into an interleaved class buffer through
 /// the device pack kernel.
-void pack_batch(Device& dev, const batch::VBatch<double>& src,
-                batch::InterleavedBatch<double>& dst) {
-  batch::IlvPackDesc d;
+template <typename T>
+void pack_batch(Device& dev, const batch::VBatch<T>& src,
+                batch::InterleavedBatch<T>& dst) {
+  batch::IlvPackDescT<T> d;
   d.dst = dst.view();
   d.m = dst.m();
   d.n = dst.n();
   d.lanes = src.batch_size();
   d.src = src.ptrs();
   d.src_ld = src.lda();
-  batch::ilv_pack(dev, dev.stream(), {d});
+  batch::ilv_pack<T>(dev, dev.stream(), {d});
 }
 
 /// Lane-by-lane bitwise comparison of an interleaved buffer against the
 /// strided batch.
-bool ilv_bits_equal(const batch::VBatch<double>& str,
-                    const batch::InterleavedBatch<double>& ilv) {
+template <typename T>
+bool ilv_bits_equal(const batch::VBatch<T>& str,
+                    const batch::InterleavedBatch<T>& ilv) {
   for (int i = 0; i < str.batch_size(); ++i) {
     const auto v = str.view(i);
     for (int col = 0; col < ilv.n(); ++col)
@@ -190,7 +193,8 @@ bool ilv_bits_equal(const batch::VBatch<double>& str,
   return true;
 }
 
-IlvResult run_ilv_class(const IlvClass& c, int rep_scale) {
+template <typename T>
+IlvResult run_ilv_class_t(const IlvClass& c, int rep_scale) {
   Rng rng(777u + static_cast<unsigned>(c.m + 64 * c.n));
   IlvResult res{c, 0, 0, true};
   const int bs = c.batch;
@@ -203,90 +207,89 @@ IlvResult run_ilv_class(const IlvClass& c, int rep_scale) {
   };
 
   if (c.op == "gemm") {
-    batch::VBatch<double> a(dev, sizes(c.m), sizes(c.k)),
+    batch::VBatch<T> a(dev, sizes(c.m), sizes(c.k)),
         b(dev, sizes(c.k), sizes(c.n)), cc(dev, sizes(c.m), sizes(c.n));
     a.fill_uniform(rng);
     b.fill_uniform(rng);
     cc.fill_uniform(rng);
-    batch::InterleavedBatch<double> ai(dev, c.m, c.k, bs),
-        bi(dev, c.k, c.n, bs), ci(dev, c.m, c.n, bs);
+    batch::InterleavedBatch<T> ai(dev, c.m, c.k, bs), bi(dev, c.k, c.n, bs),
+        ci(dev, c.m, c.n, bs);
     pack_batch(dev, a, ai);
     pack_batch(dev, b, bi);
     pack_batch(dev, cc, ci);
     // beta == 1 accumulates, so restore C every rep to keep the two sides
     // bit-comparable regardless of how many warm-up reps each one ran.
     const std::size_t nc = static_cast<std::size_t>(c.m) * c.n * bs;
-    const std::vector<double> ci0(ci.data(), ci.data() + nc);
-    batch::VBatch<double> cc0(dev, sizes(c.m), sizes(c.n));
+    const std::vector<T> ci0(ci.data(), ci.data() + nc);
+    batch::VBatch<T> cc0(dev, sizes(c.m), sizes(c.n));
     cc0.copy_from(cc);
     res.ilv_ns = median_ns_for(c.flops(), rep_scale, [&] {
       std::copy(ci0.begin(), ci0.end(), ci.data());
-      batch::irr_gemm_ilv(dev, stream, disp, c.m, c.n, c.k, -1.0, ai.view(),
-                          bi.view(), 1.0, ci.view(), bs);
+      batch::irr_gemm_ilv<T>(dev, stream, disp, c.m, c.n, c.k, -1.0,
+                             ai.view(), bi.view(), 1.0, ci.view(), bs);
     });
     res.strided_ns = median_ns_for(c.flops(), rep_scale, [&] {
       cc.copy_from(cc0);
-      batch::irr_gemm<double>(
-          dev, stream, la::Trans::No, la::Trans::No, c.m, c.n, c.k, -1.0,
-          a.ptrs(), a.lda(), 0, 0, b.ptrs(), b.lda(), 0, 0, 1.0, cc.ptrs(),
+      batch::irr_gemm<T>(
+          dev, stream, la::Trans::No, la::Trans::No, c.m, c.n, c.k, T(-1),
+          a.ptrs(), a.lda(), 0, 0, b.ptrs(), b.lda(), 0, 0, T(1), cc.ptrs(),
           cc.lda(), 0, 0, cc.m_vec(), cc.n_vec(), a.n_vec(), bs);
     });
     dev.synchronize_all();
     res.bits_match = ilv_bits_equal(cc, ci);
   } else if (c.op == "trsm") {
     const int tri = c.side == la::Side::Left ? c.m : c.n;
-    batch::VBatch<double> t(dev, sizes(tri), sizes(tri)),
+    batch::VBatch<T> t(dev, sizes(tri), sizes(tri)),
         b(dev, sizes(c.m), sizes(c.n));
     t.fill_uniform(rng);
     for (int i = 0; i < bs; ++i) {
       auto v = t.view(i);
-      for (int d = 0; d < tri; ++d) v(d, d) += 4.0;
+      for (int d = 0; d < tri; ++d) v(d, d) += T(4);
     }
     b.fill_uniform(rng);
-    batch::InterleavedBatch<double> ti(dev, tri, tri, bs),
-        bi(dev, c.m, c.n, bs);
+    batch::InterleavedBatch<T> ti(dev, tri, tri, bs), bi(dev, c.m, c.n, bs);
     pack_batch(dev, t, ti);
     pack_batch(dev, b, bi);
     const std::size_t nb = static_cast<std::size_t>(c.m) * c.n * bs;
-    const std::vector<double> bi0(bi.data(), bi.data() + nb);
-    batch::VBatch<double> b0(dev, sizes(c.m), sizes(c.n));
+    const std::vector<T> bi0(bi.data(), bi.data() + nb);
+    batch::VBatch<T> b0(dev, sizes(c.m), sizes(c.n));
     b0.copy_from(b);
     res.ilv_ns = median_ns_for(c.flops(), rep_scale, [&] {
       std::copy(bi0.begin(), bi0.end(), bi.data());
-      batch::irr_trsm_ilv(dev, stream, disp, c.side, c.uplo, c.diag, c.m,
-                          c.n, 1.0, ti.view(), bi.view(), bs);
+      batch::irr_trsm_ilv<T>(dev, stream, disp, c.side, c.uplo, c.diag, c.m,
+                             c.n, 1.0, ti.view(), bi.view(), bs);
     });
     res.strided_ns = median_ns_for(c.flops(), rep_scale, [&] {
       b.copy_from(b0);
-      batch::irr_trsm<double>(
-          dev, stream, c.side, c.uplo, la::Trans::No, c.diag, c.m, c.n, 1.0,
-          const_cast<double const* const*>(t.ptrs()), t.lda(), 0, 0,
-          b.ptrs(), b.lda(), 0, 0, b.m_vec(), b.n_vec(), bs);
+      batch::irr_trsm<T>(
+          dev, stream, c.side, c.uplo, la::Trans::No, c.diag, c.m, c.n, T(1),
+          const_cast<T const* const*>(t.ptrs()), t.lda(), 0, 0, b.ptrs(),
+          b.lda(), 0, 0, b.m_vec(), b.n_vec(), bs);
     });
     dev.synchronize_all();
     res.bits_match = ilv_bits_equal(b, bi);
   } else {  // getf2
-    batch::VBatch<double> a(dev, sizes(c.m), sizes(c.n));
+    batch::VBatch<T> a(dev, sizes(c.m), sizes(c.n));
     a.fill_uniform(rng);
-    batch::InterleavedBatch<double> ai(dev, c.m, c.n, bs);
+    batch::InterleavedBatch<T> ai(dev, c.m, c.n, bs);
     pack_batch(dev, a, ai);
     const std::size_t na = static_cast<std::size_t>(c.m) * c.n * bs;
-    const std::vector<double> ai0(ai.data(), ai.data() + na);
-    batch::VBatch<double> a0(dev, sizes(c.m), sizes(c.n));
+    const std::vector<T> ai0(ai.data(), ai.data() + na);
+    batch::VBatch<T> a0(dev, sizes(c.m), sizes(c.n));
     a0.copy_from(a);
     batch::PivotBatch piv_ilv(dev, sizes(c.m), sizes(c.n)),
         piv_str(dev, sizes(c.m), sizes(c.n));
     res.ilv_ns = median_ns_for(c.flops(), rep_scale, [&] {
       std::copy(ai0.begin(), ai0.end(), ai.data());
-      batch::irr_getf2_ilv(dev, stream, disp, ai.view(), c.m, c.n, bs,
-                           piv_ilv.ptrs(), piv_ilv.info());
+      batch::irr_getf2_ilv<T>(dev, stream, disp, ai.view(), c.m, c.n, bs,
+                              piv_ilv.ptrs(), piv_ilv.info());
     });
     const batch::IrrLuOptions lu;  // nb = 32 >= leaf dims: fused panel path
     res.strided_ns = median_ns_for(c.flops(), rep_scale, [&] {
       a.copy_from(a0);
-      batch::irr_getrf<double>(dev, stream, c.m, c.n, a.ptrs(), a.lda(), 0,
-                               0, a.m_vec(), a.n_vec(), piv_str.ptrs(),
-                               piv_str.info(), bs, lu);
+      batch::irr_getrf<T>(dev, stream, c.m, c.n, a.ptrs(), a.lda(), 0, 0,
+                          a.m_vec(), a.n_vec(), piv_str.ptrs(),
+                          piv_str.info(), bs, lu);
     });
     dev.synchronize_all();
     res.bits_match = ilv_bits_equal(a, ai);
@@ -298,6 +301,11 @@ IlvResult run_ilv_class(const IlvClass& c, int rep_scale) {
     }
   }
   return res;
+}
+
+IlvResult run_ilv_class(const IlvClass& c, int rep_scale) {
+  return c.prec == "f32" ? run_ilv_class_t<float>(c, rep_scale)
+                         : run_ilv_class_t<double>(c, rep_scale);
 }
 
 }  // namespace
@@ -374,8 +382,22 @@ int main(int argc, char** argv) {
       {"interleaved_trsm_ru_leaf", "trsm", la::Side::Right, la::Uplo::Upper,
        la::Diag::NonUnit, 6, 9, 0, ilv_batch},
   };
+  // FP32 twins of the same classes (DESIGN.md §14): the element type the
+  // mixed-precision factor levels run in. Same SoA-vs-strided contract —
+  // per-lane bits must match between the two float paths; the fp64 : fp32
+  // ns ratio row-to-row is the single-precision throughput win the LU-IR
+  // policy banks on (half the bytes per lane step, twice the SIMD lanes).
+  {
+    const std::size_t nd = ilv_classes.size();
+    for (std::size_t i = 0; i < nd; ++i) {
+      IlvClass f = ilv_classes[i];
+      f.name += "_f32";
+      f.prec = "f32";
+      ilv_classes.push_back(std::move(f));
+    }
+  }
   bool ok = true;
-  irrlu::TextTable ilv_table({"class", "shape", "batch", "ilv ns",
+  irrlu::TextTable ilv_table({"class", "shape", "batch", "prec", "ilv ns",
                               "strided ns", "speedup", "bits"});
   std::vector<IlvResult> ilv_results;
   for (const auto& c : ilv_classes) {
@@ -385,7 +407,7 @@ int main(int argc, char** argv) {
     char shape[64];
     std::snprintf(shape, sizeof shape, "%dx%dx%d", c.m, c.n, c.k);
     ilv_table.add_row(c.name, shape, irrlu::TextTable::fmt(c.batch, 0),
-                      irrlu::TextTable::fmt(r.ilv_ns, 0),
+                      c.prec, irrlu::TextTable::fmt(r.ilv_ns, 0),
                       irrlu::TextTable::fmt(r.strided_ns, 0),
                       irrlu::TextTable::fmt(r.strided_ns / r.ilv_ns, 2),
                       r.bits_match ? "match" : "MISMATCH");
@@ -422,6 +444,7 @@ int main(int argc, char** argv) {
     w.kv("speedup", r.naive_ns / r.engine_ns, "%.3f");
     w.kv("layout", "strided");
     w.kv_int("batch", 1);
+    w.kv("prec", "f64");
     w.end_object();
   }
   for (const IlvResult& r : ilv_results) {
@@ -444,6 +467,7 @@ int main(int argc, char** argv) {
     w.kv("speedup", r.strided_ns / r.ilv_ns, "%.3f");
     w.kv("layout", "interleaved");
     w.kv_int("batch", c.batch);
+    w.kv("prec", c.prec);
     w.end_object();
   }
   w.end_array();

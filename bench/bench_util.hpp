@@ -246,6 +246,11 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 //   speedup          naive_median_ns / engine_median_ns
 //   layout           "strided" | "interleaved"
 //   batch            lanes per call (1 for the strided single-call rows)
+//   prec             "f64" | "f32" — element type of both sides of the
+//                    row. The f32 twin rows (DESIGN.md §14) re-run the
+//                    interleaved leaf classes in single precision; the
+//                    ilv-ns ratio f64-row / f32-row is the throughput
+//                    win the FP32 multifrontal levels inherit
 //
 // The interleaved_* rows (layout "interleaved", DESIGN.md §12) time one
 // whole batch of `batch` same-shape leaf-class matrices per call: the
@@ -320,6 +325,34 @@ inline std::unique_ptr<trace::TraceSession> make_trace_session(
 //                              loop; 1.0 when the recorded DispatchPlan
 //                              replays cleanly
 //     factor_bits_identical    routing-on factor bytes == routing-off
+//   precision         FP32-vs-FP64 LU-IR A/B on the same point
+//                     (DESIGN.md §14; fresh solver per config, pool on):
+//     configs                  two entries, f32 first:
+//       policy                     "f32" | "f64"
+//       factor_wall_s              first numeric factorization, host s
+//       factor_sim_s               simulated device seconds
+//       fp32_fronts                fronts factored in single precision
+//       solve_status               "converged" | "degraded" | "failed"
+//       refine_steps, berr         refinement sweeps and final
+//                                  componentwise backward error
+//       refactored_fp64            the solve escalated to the FP64
+//                                  fallback refactor
+//     sim_speedup              f64 / f32 factor_sim_s (deterministic)
+//
+// Top level additionally carries (non-quick runs):
+//
+//   precision_anchor_points   [ { ntheta, ncross, n, precision }, ... ] —
+//                             two large meshes ({48,12}, {64,16}) run for
+//                             the precision A/B only (no pool/interleaved
+//                             columns; they would dominate the runtime)
+//   precision_family_sim_speedup
+//                             work-weighted family aggregate: sum of f64
+//                             factor_sim_s over points + anchors divided
+//                             by the f32 sum; the driver exits nonzero
+//                             below 1.5 on the full family, and whenever
+//                             an FP32-path solve fails to converge on a
+//                             point where pure FP64 converges without
+//                             fallback
 //
 // The torus family mixes fat 3D points (ntheta x ncross x ncross with
 // ncross >= 6), whose fronts exceed the routable class sizes — the

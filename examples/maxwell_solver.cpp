@@ -5,6 +5,7 @@
 //
 //   build/examples/maxwell_solver [--ntheta 24] [--ncross 8] [--omega 16]
 //                                 [--device a100|mi100|cpu]
+//                                 [--precision f64|f32|adaptive]
 //                                 [--trace trace.json] [--mem-report]
 //
 // Prints the three solver phases with their statistics, mirroring the
@@ -28,6 +29,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "fem/mesh.hpp"
 #include "fem/nedelec.hpp"
@@ -70,6 +72,13 @@ int main(int argc, char** argv) {
   // --- phase 1: reordering and symbolic analysis --------------------------
   sparse::SolverOptions opts;
   opts.nd.leaf_size = 16;
+  // Mixed-precision LU-IR (DESIGN.md §14): factor under --precision, then
+  // recover FP64 accuracy through the refinement loop in phase 3; a
+  // non-converged FP32-path solve refactors in FP64 automatically.
+  const std::string prec = args.get_string("precision", "f64");
+  IRRLU_CHECK_MSG(
+      sparse::policy_from_string(prec.c_str(), opts.factor.precision),
+      "--precision must be f64, f32, or adaptive (got '" << prec << "')");
   sparse::SparseDirectSolver solver(opts);
   WallTimer t_analyze;
   solver.analyze(sys.a);
@@ -96,6 +105,10 @@ int main(int argc, char** argv) {
               "growth %.3g\n",
               frep.boosted_pivots, frep.zero_pivot_fronts,
               frep.pivot_growth);
+  if (frep.fp32_fronts > 0)
+    std::printf("  precision: policy %s, %ld of %d fronts in FP32\n",
+                sparse::to_string(frep.precision_policy), frep.fp32_fronts,
+                frep.fronts);
 
   // --- phase 3: solve + adaptive iterative refinement ----------------------
   std::vector<double> b(sys.b.begin(), sys.b.end());
@@ -106,6 +119,9 @@ int main(int argc, char** argv) {
   std::printf("  componentwise backward error = %.2e after %d refinement "
               "step(s)\n",
               rep.berr, rep.refine_steps);
+  if (rep.refactored_fp64)
+    std::printf("  (FP32 LU-IR did not reach tolerance; automatically "
+                "refactored in FP64)\n");
   std::printf("  normwise residual = %.2e, condest_1 = %.3g\n",
               solver.residual(x, b), num.condest_1());
 

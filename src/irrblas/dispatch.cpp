@@ -11,24 +11,28 @@ const la::mk::ilv::Kernel* KernelCache::resolve(const KernelKey& key) {
     return it->second.get();
   }
   ++stats_.misses;
-  IRRLU_CHECK_MSG(key.layout == BatchLayout::kInterleaved &&
-                      key.prec == MicroPrec::kF64,
-                  "dispatch cache: only interleaved f64 kernels exist");
+  IRRLU_CHECK_MSG(key.layout == BatchLayout::kInterleaved,
+                  "dispatch cache: only interleaved kernels exist");
+  const la::mk::ilv::Prec prec = key.prec == MicroPrec::kF32
+                                     ? la::mk::ilv::Prec::kF32
+                                     : la::mk::ilv::Prec::kF64;
   la::mk::ilv::Kernel built;
   switch (key.op) {
     case MicroOp::kGemm:
-      built = la::mk::ilv::make_gemm(key.m, key.n, key.k);
+      built = la::mk::ilv::make_gemm(key.m, key.n, key.k, prec);
       break;
     case MicroOp::kTrsmLeft:
       built = la::mk::ilv::make_trsm(true, (key.flags & 1u) != 0,
-                                     (key.flags & 2u) != 0, key.m, key.n);
+                                     (key.flags & 2u) != 0, key.m, key.n,
+                                     prec);
       break;
     case MicroOp::kTrsmRight:
       built = la::mk::ilv::make_trsm(false, (key.flags & 1u) != 0,
-                                     (key.flags & 2u) != 0, key.m, key.n);
+                                     (key.flags & 2u) != 0, key.m, key.n,
+                                     prec);
       break;
     case MicroOp::kGetf2:
-      built = la::mk::ilv::make_getf2(key.m, key.n);
+      built = la::mk::ilv::make_getf2(key.m, key.n, prec);
       break;
   }
   auto owned = std::make_unique<la::mk::ilv::Kernel>(built);

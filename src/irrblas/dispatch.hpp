@@ -48,7 +48,14 @@ struct InterleavedOptions {
 
 enum class MicroOp : std::uint8_t { kGemm, kTrsmLeft, kTrsmRight, kGetf2 };
 enum class BatchLayout : std::uint8_t { kStrided, kInterleaved };
-enum class MicroPrec : std::uint8_t { kF64 };
+enum class MicroPrec : std::uint8_t { kF64, kF32 };
+
+/// MicroPrec of a C++ element type (the typed launch wrappers key their
+/// resolutions with this, so double callers keep the pre-existing keys).
+template <typename T>
+inline constexpr MicroPrec kMicroPrecOf = MicroPrec::kF64;
+template <>
+inline constexpr MicroPrec kMicroPrecOf<float> = MicroPrec::kF32;
 
 /// Dispatch key: everything that selects a kernel body. `flags` carries
 /// the trsm variant (bit 0: effective-lower triangle, bit 1: unit
@@ -63,29 +70,35 @@ struct KernelKey {
   friend bool operator==(const KernelKey&, const KernelKey&) = default;
 };
 
-inline KernelKey gemm_key(int m, int n, int k) {
+inline KernelKey gemm_key(int m, int n, int k,
+                          MicroPrec prec = MicroPrec::kF64) {
   KernelKey key;
   key.op = MicroOp::kGemm;
   key.m = m;
   key.n = n;
   key.k = k;
+  key.prec = prec;
   return key;
 }
 
-inline KernelKey trsm_key(bool left, bool lower, bool unit, int m, int n) {
+inline KernelKey trsm_key(bool left, bool lower, bool unit, int m, int n,
+                          MicroPrec prec = MicroPrec::kF64) {
   KernelKey key;
   key.op = left ? MicroOp::kTrsmLeft : MicroOp::kTrsmRight;
   key.m = m;
   key.n = n;
   key.flags = (lower ? 1u : 0u) | (unit ? 2u : 0u);
+  key.prec = prec;
   return key;
 }
 
-inline KernelKey getf2_key(int m, int n) {
+inline KernelKey getf2_key(int m, int n,
+                          MicroPrec prec = MicroPrec::kF64) {
   KernelKey key;
   key.op = MicroOp::kGetf2;
   key.m = m;
   key.n = n;
+  key.prec = prec;
   return key;
 }
 

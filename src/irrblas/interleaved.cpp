@@ -50,31 +50,32 @@ void ilv_launch(gpusim::Device& dev, gpusim::Stream& stream, const char* name,
   });
 }
 
+template <typename T>
 void ilv_pack(gpusim::Device& dev, gpusim::Stream& stream,
-              std::vector<IlvPackDesc> descs) {
-  auto ds = std::make_shared<std::vector<IlvPackDesc>>(std::move(descs));
+              std::vector<IlvPackDescT<T>> descs) {
+  auto ds = std::make_shared<std::vector<IlvPackDescT<T>>>(std::move(descs));
   auto map = grid_of(*ds);
   if (map->empty()) return;
   const gpusim::LaunchConfig cfg{"ilv_pack", static_cast<int>(map->size()),
                                  0};
   dev.launch(stream, cfg, [ds, map](gpusim::BlockCtx& ctx) {
     const BlockSpan bs = (*map)[static_cast<std::size_t>(ctx.block())];
-    const IlvPackDesc& d = (*ds)[static_cast<std::size_t>(bs.desc)];
+    const IlvPackDescT<T>& d = (*ds)[static_cast<std::size_t>(bs.desc)];
     const int l0 = d.lane0 + bs.off;
     const int l1 = std::min(d.lane0 + d.lanes, l0 + kIlvLaneChunk);
     for (int l = l0; l < l1; ++l) {
-      const double* s = d.src[l];
+      const T* s = d.src[l];
       const int lds = d.src_ld[l];
       double mx = 0;
       for (int c = 0; c < d.n; ++c) {
         for (int r = 0; r < d.m; ++r) {
-          const double v = s[static_cast<std::ptrdiff_t>(c) * lds + r];
+          const T v = s[static_cast<std::ptrdiff_t>(c) * lds + r];
           d.dst.data[(static_cast<std::ptrdiff_t>(c) * d.dst.ld + r) *
                          d.dst.batch +
                      l] = v;
           // Same reduction expression and traversal order as the strided
           // mf_front_norm kernel (the max is order-independent anyway).
-          mx = std::max(mx, std::abs(v));
+          mx = std::max(mx, std::abs(static_cast<double>(v)));
         }
       }
       if (d.absmax != nullptr && d.m > 0 && d.n > 0) d.absmax[l] = mx;
@@ -82,35 +83,36 @@ void ilv_pack(gpusim::Device& dev, gpusim::Stream& stream,
     const int nl = l1 - l0;
     const double elems = static_cast<double>(d.m) * d.n;
     ctx.record(d.absmax != nullptr ? elems * nl : 0.0,
-               2.0 * elems * sizeof(double) * nl);
+               2.0 * elems * sizeof(T) * nl);
   });
 }
 
+template <typename T>
 void ilv_unpack(gpusim::Device& dev, gpusim::Stream& stream,
-                std::vector<IlvPackDesc> descs) {
-  auto ds = std::make_shared<std::vector<IlvPackDesc>>(std::move(descs));
+                std::vector<IlvPackDescT<T>> descs) {
+  auto ds = std::make_shared<std::vector<IlvPackDescT<T>>>(std::move(descs));
   auto map = grid_of(*ds);
   if (map->empty()) return;
   const gpusim::LaunchConfig cfg{"ilv_unpack", static_cast<int>(map->size()),
                                  0};
   dev.launch(stream, cfg, [ds, map](gpusim::BlockCtx& ctx) {
     const BlockSpan bs = (*map)[static_cast<std::size_t>(ctx.block())];
-    const IlvPackDesc& d = (*ds)[static_cast<std::size_t>(bs.desc)];
+    const IlvPackDescT<T>& d = (*ds)[static_cast<std::size_t>(bs.desc)];
     const int l0 = d.lane0 + bs.off;
     const int l1 = std::min(d.lane0 + d.lanes, l0 + kIlvLaneChunk);
     for (int l = l0; l < l1; ++l) {
-      double* s = d.src[l];
+      T* s = d.src[l];
       const int lds = d.src_ld[l];
       double mx = 0;
       for (int c = 0; c < d.n; ++c) {
         for (int r = 0; r < d.m; ++r) {
-          const double v = d.dst.data[(static_cast<std::ptrdiff_t>(c) *
-                                           d.dst.ld +
-                                       r) *
-                                          d.dst.batch +
-                                      l];
+          const T v = d.dst.data[(static_cast<std::ptrdiff_t>(c) *
+                                      d.dst.ld +
+                                  r) *
+                                     d.dst.batch +
+                                 l];
           s[static_cast<std::ptrdiff_t>(c) * lds + r] = v;
-          mx = std::max(mx, std::abs(v));
+          mx = std::max(mx, std::abs(static_cast<double>(v)));
         }
       }
       if (d.absmax != nullptr && d.m > 0 && d.n > 0) d.absmax[l] = mx;
@@ -118,20 +120,21 @@ void ilv_unpack(gpusim::Device& dev, gpusim::Stream& stream,
     const int nl = l1 - l0;
     const double elems = static_cast<double>(d.m) * d.n;
     ctx.record(d.absmax != nullptr ? elems * nl : 0.0,
-               2.0 * elems * sizeof(double) * nl);
+               2.0 * elems * sizeof(T) * nl);
   });
 }
 
+template <typename T>
 void ilv_laswp(gpusim::Device& dev, gpusim::Stream& stream,
-               std::vector<IlvLaswpDesc> descs) {
-  auto ds = std::make_shared<std::vector<IlvLaswpDesc>>(std::move(descs));
+               std::vector<IlvLaswpDescT<T>> descs) {
+  auto ds = std::make_shared<std::vector<IlvLaswpDescT<T>>>(std::move(descs));
   auto map = grid_of(*ds);
   if (map->empty()) return;
   const gpusim::LaunchConfig cfg{"ilv_laswp", static_cast<int>(map->size()),
                                  0};
   dev.launch(stream, cfg, [ds, map](gpusim::BlockCtx& ctx) {
     const BlockSpan bs = (*map)[static_cast<std::size_t>(ctx.block())];
-    const IlvLaswpDesc& d = (*ds)[static_cast<std::size_t>(bs.desc)];
+    const IlvLaswpDescT<T>& d = (*ds)[static_cast<std::size_t>(bs.desc)];
     const int l0 = d.lane0 + bs.off;
     const int l1 = std::min(d.lane0 + d.lanes, l0 + kIlvLaneChunk);
     long swaps = 0;
@@ -156,18 +159,19 @@ void ilv_laswp(gpusim::Device& dev, gpusim::Stream& stream,
     // Coalesced swap traffic: 4 accesses per swapped element, no strided
     // row-access penalty (contrast irr_laswp_range's 64 / sizeof(T)
     // factor) — the layout's headline saving.
-    ctx.record(0.0, static_cast<double>(swaps) * 4.0 * d.width *
-                        sizeof(double));
+    ctx.record(0.0,
+               static_cast<double>(swaps) * 4.0 * d.width * sizeof(T));
   });
 }
 
+template <typename T>
 void irr_getf2_ilv(gpusim::Device& dev, gpusim::Stream& stream,
-                   const Dispatch& disp, const IlvView& a, int m, int n,
+                   const Dispatch& disp, const IlvViewT<T>& a, int m, int n,
                    int lanes, int* const* ipiv, int* info, double tau,
                    const double* anorm, int* boost) {
   if (lanes <= 0) return;
   IlvOpDesc d;
-  d.kern = disp.resolve(getf2_key(m, n));
+  d.kern = disp.resolve(getf2_key(m, n, kMicroPrecOf<T>));
   d.args.batch = a.batch;
   d.args.c = a.data;
   d.args.ldc = a.ld;
@@ -177,20 +181,21 @@ void irr_getf2_ilv(gpusim::Device& dev, gpusim::Stream& stream,
   d.args.anorm = anorm;
   d.args.boost = boost;
   d.lanes = lanes;
-  d.flops_per_lane = la::getrf_flops(m, n);
-  d.bytes_per_lane = 2.0 * m * n * sizeof(double) +
+  d.flops_per_lane = la::getrf_flops(m, n) * la::flop_weight<T>;
+  d.bytes_per_lane = 2.0 * m * n * sizeof(T) +
                      static_cast<double>(std::min(m, n)) * sizeof(int);
   ilv_launch(dev, stream, "ilv_getf2", {d});
 }
 
+template <typename T>
 void irr_gemm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
                   const Dispatch& disp, int m, int n, int k, double alpha,
-                  const IlvView& a, const IlvView& b, double beta,
-                  const IlvView& c, int lanes) {
+                  const IlvViewT<T>& a, const IlvViewT<T>& b, double beta,
+                  const IlvViewT<T>& c, int lanes) {
   if (lanes <= 0) return;
   IRRLU_CHECK(a.batch == c.batch && b.batch == c.batch);
   IlvOpDesc d;
-  d.kern = disp.resolve(gemm_key(m, n, k));
+  d.kern = disp.resolve(gemm_key(m, n, k, kMicroPrecOf<T>));
   d.args.batch = c.batch;
   d.args.alpha = alpha;
   d.args.beta = beta;
@@ -201,23 +206,25 @@ void irr_gemm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
   d.args.c = c.data;
   d.args.ldc = c.ld;
   d.lanes = lanes;
-  d.flops_per_lane = la::gemm_flops(m, n, k);
+  d.flops_per_lane = la::gemm_flops(m, n, k) * la::flop_weight<T>;
   d.bytes_per_lane =
-      (static_cast<double>(m + n) * k + 2.0 * m * n) * sizeof(double);
+      (static_cast<double>(m + n) * k + 2.0 * m * n) * sizeof(T);
   ilv_launch(dev, stream, "ilv_gemm", {d});
 }
 
+template <typename T>
 void irr_trsm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
                   const Dispatch& disp, la::Side side, la::Uplo uplo,
-                  la::Diag diag, int m, int n, double alpha, const IlvView& t,
-                  const IlvView& b, int lanes) {
+                  la::Diag diag, int m, int n, double alpha,
+                  const IlvViewT<T>& t, const IlvViewT<T>& b, int lanes) {
   if (lanes <= 0) return;
   IRRLU_CHECK(t.batch == b.batch);
   const bool left = side == la::Side::Left;
   const int tri = left ? m : n;
   IlvOpDesc d;
   d.kern = disp.resolve(trsm_key(left, uplo == la::Uplo::Lower,
-                                 diag == la::Diag::Unit, m, n));
+                                 diag == la::Diag::Unit, m, n,
+                                 kMicroPrecOf<T>));
   d.args.batch = b.batch;
   d.args.alpha = alpha;
   d.args.a = t.data;
@@ -225,10 +232,36 @@ void irr_trsm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
   d.args.c = b.data;
   d.args.ldc = b.ld;
   d.lanes = lanes;
-  d.flops_per_lane = la::trsm_flops(tri, left ? n : m);
-  d.bytes_per_lane =
-      (0.5 * tri * tri + 2.0 * m * n) * sizeof(double);
+  d.flops_per_lane =
+      la::trsm_flops(tri, left ? n : m) * la::flop_weight<T>;
+  d.bytes_per_lane = (0.5 * tri * tri + 2.0 * m * n) * sizeof(T);
   ilv_launch(dev, stream, "ilv_trsm", {d});
 }
+
+#define IRRLU_INSTANTIATE_ILV(T)                                             \
+  template void ilv_pack<T>(gpusim::Device&, gpusim::Stream&,                \
+                            std::vector<IlvPackDescT<T>>);                   \
+  template void ilv_unpack<T>(gpusim::Device&, gpusim::Stream&,              \
+                              std::vector<IlvPackDescT<T>>);                 \
+  template void ilv_laswp<T>(gpusim::Device&, gpusim::Stream&,               \
+                             std::vector<IlvLaswpDescT<T>>);                 \
+  template void irr_getf2_ilv<T>(gpusim::Device&, gpusim::Stream&,           \
+                                 const Dispatch&, const IlvViewT<T>&, int,   \
+                                 int, int, int* const*, int*, double,        \
+                                 const double*, int*);                       \
+  template void irr_gemm_ilv<T>(gpusim::Device&, gpusim::Stream&,            \
+                                const Dispatch&, int, int, int, double,      \
+                                const IlvViewT<T>&, const IlvViewT<T>&,      \
+                                double, const IlvViewT<T>&, int);            \
+  template void irr_trsm_ilv<T>(gpusim::Device&, gpusim::Stream&,            \
+                                const Dispatch&, la::Side, la::Uplo,         \
+                                la::Diag, int, int, double,                  \
+                                const IlvViewT<T>&, const IlvViewT<T>&,      \
+                                int);
+
+IRRLU_INSTANTIATE_ILV(double)
+IRRLU_INSTANTIATE_ILV(float)
+
+#undef IRRLU_INSTANTIATE_ILV
 
 }  // namespace irrlu::batch

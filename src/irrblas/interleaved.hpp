@@ -50,38 +50,63 @@ void ilv_launch(gpusim::Device& dev, gpusim::Stream& stream, const char* name,
 /// absolute lane id) against the m x n SoA window `dst`. When `absmax`
 /// is set, the sweep also writes max |a_ij| per lane — the boost-norm /
 /// growth extremum fused into the copy (order-independent, so it equals
-/// the strided mf_front_norm/mf_front_growth value bitwise).
-struct IlvPackDesc {
-  IlvView dst;
+/// the strided mf_front_norm/mf_front_growth value bitwise; the extremum
+/// stays double even for float classes, like every anorm vector).
+template <typename T>
+struct IlvPackDescT {
+  IlvViewT<T> dst;
   int m = 0, n = 0;
   int lane0 = 0, lanes = 0;
-  double* const* src = nullptr;
+  T* const* src = nullptr;
   const int* src_ld = nullptr;
   double* absmax = nullptr;
 };
 
+using IlvPackDesc = IlvPackDescT<double>;
+
 /// Strided -> SoA gather (+ optional per-lane max-magnitude).
+template <typename T>
 void ilv_pack(gpusim::Device& dev, gpusim::Stream& stream,
-              std::vector<IlvPackDesc> descs);
+              std::vector<IlvPackDescT<T>> descs);
 /// SoA -> strided scatter (+ optional per-lane max-magnitude).
+template <typename T>
 void ilv_unpack(gpusim::Device& dev, gpusim::Stream& stream,
-                std::vector<IlvPackDesc> descs);
+                std::vector<IlvPackDescT<T>> descs);
+
+// Non-template overloads so braced-init call sites keep deducing double.
+inline void ilv_pack(gpusim::Device& dev, gpusim::Stream& stream,
+                     std::vector<IlvPackDesc> descs) {
+  ilv_pack<double>(dev, stream, std::move(descs));
+}
+inline void ilv_unpack(gpusim::Device& dev, gpusim::Stream& stream,
+                       std::vector<IlvPackDesc> descs) {
+  ilv_unpack<double>(dev, stream, std::move(descs));
+}
 
 /// One size class of a row-interchange stage: applies ipiv[lane][0..rows)
 /// forward (row r swaps with row ipiv[lane][r]) to `width` columns of the
 /// class window `view`. Bytes are counted per actual swap, coalesced:
-/// swaps * 4 accesses * width * sizeof(double) — without the
+/// swaps * 4 accesses * width * sizeof(T) — without the
 /// (64 / sizeof(T)) row-access penalty the strided irr_laswp_range pays,
 /// because a lane sweep is unit stride in this layout.
-struct IlvLaswpDesc {
-  IlvView view;
+template <typename T>
+struct IlvLaswpDescT {
+  IlvViewT<T> view;
   int rows = 0, width = 0;
   int lane0 = 0, lanes = 0;
   int* const* ipiv = nullptr;
 };
 
+using IlvLaswpDesc = IlvLaswpDescT<double>;
+
+template <typename T>
 void ilv_laswp(gpusim::Device& dev, gpusim::Stream& stream,
-               std::vector<IlvLaswpDesc> descs);
+               std::vector<IlvLaswpDescT<T>> descs);
+
+inline void ilv_laswp(gpusim::Device& dev, gpusim::Stream& stream,
+                      std::vector<IlvLaswpDesc> descs) {
+  ilv_laswp<double>(dev, stream, std::move(descs));
+}
 
 // ---------------------------------------------------------------------------
 // Single-class convenience wrappers (tests, benchmarks): resolve through
@@ -90,22 +115,25 @@ void ilv_laswp(gpusim::Device& dev, gpusim::Stream& stream,
 
 /// LU with partial pivoting of every lane's m x n matrix in `a`;
 /// per-lane ipiv/info (and optional boosting) as in irr_getf2_fused.
+template <typename T>
 void irr_getf2_ilv(gpusim::Device& dev, gpusim::Stream& stream,
-                   const Dispatch& disp, const IlvView& a, int m, int n,
+                   const Dispatch& disp, const IlvViewT<T>& a, int m, int n,
                    int lanes, int* const* ipiv, int* info, double tau = 0.0,
                    const double* anorm = nullptr, int* boost = nullptr);
 
 /// C = alpha * A * B + beta * C per lane (Trans::No both sides).
+template <typename T>
 void irr_gemm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
                   const Dispatch& disp, int m, int n, int k, double alpha,
-                  const IlvView& a, const IlvView& b, double beta,
-                  const IlvView& c, int lanes);
+                  const IlvViewT<T>& a, const IlvViewT<T>& b, double beta,
+                  const IlvViewT<T>& c, int lanes);
 
 /// Triangular solve per lane (Trans::No): op(T) X = alpha B (Left) or
 /// X op(T) = alpha B (Right), B overwritten, B is m x n.
+template <typename T>
 void irr_trsm_ilv(gpusim::Device& dev, gpusim::Stream& stream,
                   const Dispatch& disp, la::Side side, la::Uplo uplo,
-                  la::Diag diag, int m, int n, double alpha, const IlvView& t,
-                  const IlvView& b, int lanes);
+                  la::Diag diag, int m, int n, double alpha,
+                  const IlvViewT<T>& t, const IlvViewT<T>& b, int lanes);
 
 }  // namespace irrlu::batch

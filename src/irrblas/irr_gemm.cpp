@@ -103,7 +103,7 @@ void irr_gemm(gpusim::Device& dev, gpusim::Stream& stream, la::Trans transA,
       la::gemm(transA, transB, em, en, w.k, alpha, At, lda, Bt, ldb, T(1), C,
                ldc);
       bytes += static_cast<double>(em + en) * w.k * sizeof(T);
-      ctx.record(la::gemm_flops(em, en, w.k), bytes);
+      ctx.record(la::gemm_flops(em, en, w.k) * la::flop_weight<T>, bytes);
     } else {
       ctx.record(0.0, bytes);
     }

@@ -246,4 +246,20 @@ void irr_laswp_range(gpusim::Device& dev, gpusim::Stream& stream, int k0,
                      int c0, const int* m_vec, const int* n_vec,
                      int const* const* ipiv_array, int batch_size);
 
+/// Rehearsed variant of irr_laswp_range: the pivot chain [k0, k1) is first
+/// replayed on auxiliary index columns (§IV-F), then every touched row
+/// moves exactly once through shared-memory chunks instead of one strided
+/// swap per pivot. Result-identical to irr_laswp_range; the traffic is
+/// swap-chain-compressed. The FP64 multifrontal path keeps the strided
+/// reference schedule for cost-reproducibility with the pre-mixed-precision
+/// baseline; FP32 fronts (DESIGN.md §14) take this kernel. `workspace`
+/// must hold irr_laswp_workspace_size(batch_size, k1 - k0) ints, or null
+/// to draw from the device's per-stream workspace cache.
+template <typename T>
+void irr_laswp_range_staged(gpusim::Device& dev, gpusim::Stream& stream,
+                            int k0, int k1, int w, T* const* dA_array,
+                            const int* ldda, int c0, const int* m_vec,
+                            const int* n_vec, int const* const* ipiv_array,
+                            int batch_size, int* workspace = nullptr);
+
 }  // namespace irrlu::batch

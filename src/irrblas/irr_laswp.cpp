@@ -14,6 +14,7 @@
 //    looped reference wins.
 #include <algorithm>
 #include <complex>
+#include <string>
 
 #include "irrblas/dcwi.hpp"
 #include "irrblas/irr_kernels.hpp"
@@ -231,6 +232,87 @@ void irr_laswp_dual(gpusim::Device& dev, gpusim::Stream& main,
   dev.wait(main, dev.record(aux));
 }
 
+template <typename T>
+void irr_laswp_range_staged(gpusim::Device& dev, gpusim::Stream& stream,
+                            int k0, int k1, int w, T* const* dA_array,
+                            const int* ldda, int c0, const int* m_vec,
+                            const int* n_vec, int const* const* ipiv_array,
+                            int batch_size, int* workspace) {
+  if (batch_size <= 0 || k1 <= k0 || w <= 0) return;
+  const int jb = k1 - k0;
+  const int stride = 1 + 4 * jb;  // per-matrix workspace ints
+  int* ws = workspace;
+  if (ws == nullptr) {
+    ws = dev.workspace<int>("irrlaswp.range.s" + std::to_string(stream.id()),
+                            irr_laswp_workspace_size(batch_size, jb));
+  }
+
+  // Phase 1 — rehearse the chain [k0, k1) on auxiliary index columns:
+  // identical bookkeeping to laswp_rehearse_kernel, but over an explicit
+  // pivot range rather than a DCWI-inferred panel.
+  dev.launch(stream, {"irr_laswp_rehearse", batch_size, 0},
+             [=](gpusim::BlockCtx& ctx) {
+    const int id = ctx.block();
+    int* w_cnt = ws + static_cast<std::ptrdiff_t>(id) * stride;
+    int* list = w_cnt + 1;     // touched (destination) rows
+    int* occ = list + 2 * jb;  // original row currently at list[t]
+    *w_cnt = 0;
+    const int rows = std::min(k1, m_vec[id]);
+    if (rows <= k0 || n_vec[id] <= c0) return;
+    auto find_or_add = [&](int row) {
+      for (int t = 0; t < *w_cnt; ++t)
+        if (list[t] == row) return t;
+      const int t = (*w_cnt)++;
+      list[t] = row;
+      occ[t] = row;
+      return t;
+    };
+    for (int r = k0; r < rows; ++r) {
+      const int p = ipiv_array[id][r];
+      const int tr = find_or_add(r);
+      const int tp = find_or_add(p);
+      std::swap(occ[tr], occ[tp]);
+    }
+    ctx.record(0.0, (2.0 * (rows - k0) + 2.0 * *w_cnt) * sizeof(int));
+  });
+
+  // Phase 2 — move each touched row exactly once over the [c0, c0+w)
+  // column range, through shared-memory chunks (cf. laswp_move_kernel).
+  const std::size_t move_smem =
+      std::min(kMoveSmemBytes, dev.model().shared_mem_per_block);
+  const gpusim::LaunchConfig cfg{"irr_laswp_move", batch_size, move_smem};
+  dev.launch(stream, cfg, [=](gpusim::BlockCtx& ctx) {
+    const int id = ctx.block();
+    const int* w_cnt = ws + static_cast<std::ptrdiff_t>(id) * stride;
+    const int cnt = *w_cnt;
+    const int width = std::min(w, n_vec[id] - c0);
+    if (cnt == 0 || width <= 0) return;
+    const int* list = w_cnt + 1;
+    const int* occ = list + 2 * jb;
+    const int lda = ldda[id];
+    T* A = dA_array[id] + static_cast<std::ptrdiff_t>(c0) * lda;
+
+    const int cw =
+        std::max<int>(1, static_cast<int>(move_smem / sizeof(T)) / cnt);
+    T* chunk = ctx.smem_alloc<T>(static_cast<std::size_t>(cnt) * cw);
+    for (int cc = 0; cc < width; cc += cw) {
+      const int ec = std::min(cw, width - cc);
+      for (int t = 0; t < cnt; ++t)
+        for (int c = 0; c < ec; ++c)
+          chunk[static_cast<std::ptrdiff_t>(c) * cnt + t] =
+              A[static_cast<std::ptrdiff_t>(cc + c) * lda + occ[t]];
+      for (int t = 0; t < cnt; ++t)
+        for (int c = 0; c < ec; ++c)
+          A[static_cast<std::ptrdiff_t>(cc + c) * lda + list[t]] =
+              chunk[static_cast<std::ptrdiff_t>(c) * cnt + t];
+    }
+    // Each touched element read once + written once; the chunked access
+    // amortizes roughly half of the strided-row cache waste.
+    ctx.record(0.0,
+               2.0 * cnt * width * (row_penalty<T>() / 2.0) * sizeof(T));
+  });
+}
+
 #define IRRLU_INSTANTIATE_LASWP(T)                                          \
   template void irr_laswp<T>(gpusim::Device&, gpusim::Stream&, int, int,    \
                              T* const*, const int*, const int*, const int*, \
@@ -238,7 +320,11 @@ void irr_laswp_dual(gpusim::Device& dev, gpusim::Stream& main,
   template void irr_laswp_dual<T>(gpusim::Device&, gpusim::Stream&,         \
                                   gpusim::Stream&, int, int, T* const*,     \
                                   const int*, const int*, const int*,       \
-                                  int const* const*, int, int*);
+                                  int const* const*, int, int*);            \
+  template void irr_laswp_range_staged<T>(                                  \
+      gpusim::Device&, gpusim::Stream&, int, int, int, T* const*,           \
+      const int*, int, const int*, const int*, int const* const*, int,      \
+      int*);
 
 IRRLU_INSTANTIATE_LASWP(float)
 IRRLU_INSTANTIATE_LASWP(double)

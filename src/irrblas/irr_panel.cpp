@@ -75,7 +75,7 @@ void irr_getf2_fused(gpusim::Device& dev, gpusim::Stream& stream, int m,
     for (int j = 0; j < w.kpiv(); ++j) ipiv_array[id][Aj + j] = Ai + spiv[j];
 
     // One read + one write of the panel; LU work done entirely in smem.
-    ctx.record(la::getrf_flops(w.rows, w.cols),
+    ctx.record(la::getrf_flops(w.rows, w.cols) * la::flop_weight<T>,
                2.0 * w.rows * w.cols * sizeof(T) + w.cols * sizeof(int));
   });
 }
@@ -145,7 +145,8 @@ void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
       const T piv = col[c];
       if (piv != T{} && c + 1 < w.rows)
         la::scal(w.rows - c - 1, T(1) / piv, col + c + 1, 1);
-      ctx.record(static_cast<double>(std::max(0, w.rows - c - 1)),
+      ctx.record(static_cast<double>(std::max(0, w.rows - c - 1)) *
+                     la::flop_weight<T>,
                  2.0 * std::max(0, w.rows - c - 1) * sizeof(T));
     });
 
@@ -162,7 +163,7 @@ void irr_panel_columnwise(gpusim::Device& dev, gpusim::Stream& stream, int m,
       la::ger(gm, gn, T(-1), A + static_cast<std::ptrdiff_t>(c) * lda + c + 1,
               1, A + static_cast<std::ptrdiff_t>(c + 1) * lda + c, lda,
               A + static_cast<std::ptrdiff_t>(c + 1) * lda + c + 1, lda);
-      ctx.record(la::ger_flops(gm, gn),
+      ctx.record(la::ger_flops(gm, gn) * la::flop_weight<T>,
                  (2.0 * gm * gn + gm + gn) * sizeof(T));
     });
   }

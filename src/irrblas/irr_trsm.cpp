@@ -20,10 +20,16 @@ namespace irrlu::batch {
 
 namespace {
 
-/// Base-case triangle order: as large as the staged triangle allows.
+/// Base-case triangle order: as large as the staged triangle allows. The
+/// FP64 cap stays at 32 — that is the baseline schedule the fig10 sweep
+/// pins — while narrow types may stage a 64-order triangle in the same
+/// shared-memory budget (64*64 FP32 = 16 KiB), halving the recursion
+/// depth and so the launch count of small-front solves (DESIGN.md §14).
 template <typename T>
 int trsm_base_size(const gpusim::DeviceModel& model) {
-  for (int b : {32, 16, 8}) {
+  const std::initializer_list<int> wide = {32, 16, 8};
+  const std::initializer_list<int> narrow = {64, 32, 16, 8};
+  for (int b : sizeof(T) < sizeof(double) ? narrow : wide) {
     if (static_cast<std::size_t>(b) * b * sizeof(T) +
             2 * alignof(std::max_align_t) <=
         model.shared_mem_per_block)
@@ -62,7 +68,8 @@ void trsm_base(gpusim::Device& dev, gpusim::Stream& stream, la::Side side,
     // staging footprint, so simulated time is unchanged.
     la::trsm(side, uplo, trans, diag, w.m, w.n, alpha, Tp, ldt, Bp, ldb);
 
-    ctx.record(la::trsm_flops(tri, side == la::Side::Left ? w.n : w.m),
+    ctx.record(la::trsm_flops(tri, side == la::Side::Left ? w.n : w.m) *
+                   la::flop_weight<T>,
                (0.5 * tri * tri + 2.0 * w.m * w.n) * sizeof(T));
   });
 }

@@ -122,17 +122,21 @@ class VBatch {
 /// lane (matrix) i sits at data[(c*ld + r)*batch + i], so a sweep over
 /// lanes is unit stride — coalesced on the simulated device, vectorizable
 /// on the host (DESIGN.md §12). `batch` is the lane stride, which stays
-/// the full class size even for sub-views.
-struct IlvView {
-  double* data = nullptr;
+/// the full class size even for sub-views. T is the lane element type
+/// (double or float — the mixed-precision fronts route float classes).
+template <typename T>
+struct IlvViewT {
+  T* data = nullptr;
   int ld = 0;     ///< allocated rows per column (the class m)
   int batch = 0;  ///< lane stride
   /// Base pointer of the (r0, c0) submatrix, lane 0.
-  double* sub(int r0, int c0) const {
+  T* sub(int r0, int c0) const {
     return data + (static_cast<std::ptrdiff_t>(c0) * ld + r0) * batch;
   }
-  IlvView subview(int r0, int c0) const { return {sub(r0, c0), ld, batch}; }
+  IlvViewT subview(int r0, int c0) const { return {sub(r0, c0), ld, batch}; }
 };
+
+using IlvView = IlvViewT<double>;
 
 /// Owner of one *uniform* interleaved size class: `batch` matrices of
 /// identical shape m x n in a single SoA device buffer (layout above).
@@ -161,11 +165,11 @@ class InterleavedBatch {
     return storage_[(static_cast<std::size_t>(c) * m_ + r) * batch_ + i];
   }
 
-  /// Kernel-facing view (the interleaved kernels are f64-only).
-  IlvView view() const {
-    static_assert(std::is_same_v<T, double>,
-                  "interleaved kernels operate on double batches");
-    return IlvView{storage_.data(), m_, batch_};
+  /// Kernel-facing view (dispatch keys carry the matching precision).
+  IlvViewT<T> view() const {
+    static_assert(std::is_same_v<T, double> || std::is_same_v<T, float>,
+                  "interleaved kernels operate on double or float batches");
+    return IlvViewT<T>{storage_.data(), m_, batch_};
   }
 
  private:

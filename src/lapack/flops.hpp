@@ -29,4 +29,17 @@ inline double trsm_flops(int m, int n) {
 /// FLOPs of a rank-1 update of an m x n matrix.
 inline double ger_flops(int m, int n) { return 2.0 * m * n; }
 
+/// Simulated-device cost weight of one arithmetic operation in precision
+/// T, in FP64-equivalent flops: DeviceModel::peak_flops_per_sm is the FP64
+/// rate, and the modeled GPUs run FP32 at twice that rate, so one FP32
+/// flop costs half an FP64 flop on the roofline's compute axis (the
+/// bandwidth axis halves by itself through sizeof(T)). The kernels
+/// multiply their recorded flop counts by this weight; for double the
+/// weight is exactly 1.0, so the default path's recorded numbers are
+/// bit-identical to the pre-mixed-precision ones.
+template <typename T>
+inline constexpr double flop_weight = 1.0;
+template <>
+inline constexpr double flop_weight<float> = 0.5;
+
 }  // namespace irrlu::la

@@ -9,6 +9,14 @@
 // which is what turns "same operation sequence" into "same bits". Every
 // ilv kernel body lives here — nothing in the header does arithmetic —
 // so no instantiation can leak into a default-flags TU.
+//
+// Every body is templated over the element type T and instantiated for
+// double and float: the f32 kernels run all arithmetic in float (alpha /
+// beta converted on entry, T(1)/pivot reciprocals, T(-1) update signs), so
+// each lane is bit-identical to the strided engine path instantiated for
+// float — the same contract the f64 kernels keep against the double path.
+// Only the boost threshold bookkeeping stays double (`tau * anorm`),
+// mirroring la::getf2's double `boost_threshold` parameter exactly.
 
 #include "lapack/microkernel_ilv.hpp"
 
@@ -52,13 +60,12 @@ inline std::ptrdiff_t at(int r, int c, int ld, int batch) {
 // accumulator tile (measured ~2.3x slower). Kept out-of-line on purpose:
 // inlined into the lane-chunk loop of its callers the register
 // allocator spills the tile to the stack as well.
-template <int KS, int NLT>
+template <int KS, int NLT, typename T>
 #if defined(__GNUC__)
 __attribute__((noinline))
 #endif
-void gemm_chunk(int mr, int nr, int kr, double alpha,
-                const double* __restrict a, int lda,
-                const double* __restrict b, int ldb, double* __restrict c,
+void gemm_chunk(int mr, int nr, int kr, T alpha, const T* __restrict a,
+                int lda, const T* __restrict b, int ldb, T* __restrict c,
                 int ldc, int batch, int nlr) {
   const int nl = NLT > 0 ? NLT : nlr;
   const int m = mr;
@@ -77,89 +84,91 @@ void gemm_chunk(int mr, int nr, int kr, double alpha,
   for (; i + IB <= m; i += IB) {
     int j = 0;
     for (; j + JB <= n; j += JB) {
-      double acc[IB * JB][kVec];
+      T acc[IB * JB][kVec];
       for (int t = 0; t < IB * JB; ++t)
-        for (int l = 0; l < nl; ++l) acc[t][l] = 0.0;
+        for (int l = 0; l < nl; ++l) acc[t][l] = T(0);
       for (int p = 0; p < k; ++p) {
         for (int s = 0; s < JB; ++s) {
-          const double* bp = b + at(p, j + s, ldb, batch);
+          const T* bp = b + at(p, j + s, ldb, batch);
           for (int r = 0; r < IB; ++r) {
-            const double* ap = a + at(i + r, p, lda, batch);
-            double* t = acc[s * IB + r];
+            const T* ap = a + at(i + r, p, lda, batch);
+            T* t = acc[s * IB + r];
             for (int l = 0; l < nl; ++l) t[l] += ap[l] * bp[l];
           }
         }
       }
       for (int s = 0; s < JB; ++s) {
         for (int r = 0; r < IB; ++r) {
-          double* cp = c + at(i + r, j + s, ldc, batch);
+          T* cp = c + at(i + r, j + s, ldc, batch);
           for (int l = 0; l < nl; ++l) cp[l] += alpha * acc[s * IB + r][l];
         }
       }
     }
     for (; j < n; ++j) {
-      double acc[IB][kVec];
+      T acc[IB][kVec];
       for (int r = 0; r < IB; ++r)
-        for (int l = 0; l < nl; ++l) acc[r][l] = 0.0;
+        for (int l = 0; l < nl; ++l) acc[r][l] = T(0);
       for (int p = 0; p < k; ++p) {
-        const double* bp = b + at(p, j, ldb, batch);
+        const T* bp = b + at(p, j, ldb, batch);
         for (int r = 0; r < IB; ++r) {
-          const double* ap = a + at(i + r, p, lda, batch);
+          const T* ap = a + at(i + r, p, lda, batch);
           for (int l = 0; l < nl; ++l) acc[r][l] += ap[l] * bp[l];
         }
       }
       for (int r = 0; r < IB; ++r) {
-        double* cp = c + at(i + r, j, ldc, batch);
+        T* cp = c + at(i + r, j, ldc, batch);
         for (int l = 0; l < nl; ++l) cp[l] += alpha * acc[r][l];
       }
     }
   }
   for (; i < m; ++i) {
     for (int j = 0; j < n; ++j) {
-      double acc[kVec];
-      for (int l = 0; l < nl; ++l) acc[l] = 0.0;
+      T acc[kVec];
+      for (int l = 0; l < nl; ++l) acc[l] = T(0);
       for (int p = 0; p < k; ++p) {
-        const double* ap = a + at(i, p, lda, batch);
-        const double* bp = b + at(p, j, ldb, batch);
+        const T* ap = a + at(i, p, lda, batch);
+        const T* bp = b + at(p, j, ldb, batch);
         for (int l = 0; l < nl; ++l) acc[l] += ap[l] * bp[l];
       }
-      double* cp = c + at(i, j, ldc, batch);
+      T* cp = c + at(i, j, ldc, batch);
       for (int l = 0; l < nl; ++l) cp[l] += alpha * acc[l];
     }
   }
 }
 
-template <int KS>
+template <int KS, typename T>
 void gemm_fn(const Kernel& kd, const Args& g) {
   const int m = kd.m;
   const int n = kd.n;
   const int k = KS > 0 ? KS : kd.k;
   if (m <= 0 || n <= 0) return;
+  const T alpha = static_cast<T>(g.alpha);
+  const T beta = static_cast<T>(g.beta);
   for (int l0 = g.lane0; l0 < g.lane1; l0 += kVec) {
     const int nl = std::min(kVec, g.lane1 - l0);
-    const double* a = g.a + l0;
-    const double* b = g.b + l0;
-    double* c = g.c + l0;
+    const T* a = static_cast<const T*>(g.a) + l0;
+    const T* b = static_cast<const T*>(g.b) + l0;
+    T* c = static_cast<T*>(g.c) + l0;
     // Beta pass first, then the k/alpha early-out — la::gemm's order.
-    if (g.beta != 1.0) {
+    if (beta != T(1)) {
       for (int j = 0; j < n; ++j) {
         for (int i = 0; i < m; ++i) {
-          double* cp = c + at(i, j, g.ldc, g.batch);
-          if (g.beta == 0.0) {
-            for (int l = 0; l < nl; ++l) cp[l] = 0.0;
+          T* cp = c + at(i, j, g.ldc, g.batch);
+          if (beta == T(0)) {
+            for (int l = 0; l < nl; ++l) cp[l] = T(0);
           } else {
-            for (int l = 0; l < nl; ++l) cp[l] *= g.beta;
+            for (int l = 0; l < nl; ++l) cp[l] *= beta;
           }
         }
       }
     }
-    if (k <= 0 || g.alpha == 0.0) continue;
+    if (k <= 0 || alpha == T(0)) continue;
     if (nl == kVec)
-      gemm_chunk<KS, kVec>(m, n, k, g.alpha, a, g.lda, b, g.ldb, c, g.ldc,
-                           g.batch, nl);
+      gemm_chunk<KS, kVec, T>(m, n, k, alpha, a, g.lda, b, g.ldb, c, g.ldc,
+                              g.batch, nl);
     else
-      gemm_chunk<KS, 0>(m, n, k, g.alpha, a, g.lda, b, g.ldb, c, g.ldc,
-                        g.batch, nl);
+      gemm_chunk<KS, 0, T>(m, n, k, alpha, a, g.lda, b, g.ldb, c, g.ldc,
+                           g.batch, nl);
   }
 }
 
@@ -169,14 +178,13 @@ void gemm_fn(const Kernel& kd, const Args& g) {
 
 /// la::scale_matrix mirror: the alpha pass la::trsm applies over all of B
 /// before any substitution.
-template <int NLT>
-void scale_chunk(int m, int n, double alpha, double* b, int ldb, int batch,
-                 int nlr) {
+template <int NLT, typename T>
+void scale_chunk(int m, int n, T alpha, T* b, int ldb, int batch, int nlr) {
   const int nl = NLT > 0 ? NLT : nlr;
-  if (alpha == 1.0) return;
+  if (alpha == T(1)) return;
   for (int j = 0; j < n; ++j) {
     for (int i = 0; i < m; ++i) {
-      double* bp = b + at(i, j, ldb, batch);
+      T* bp = b + at(i, j, ldb, batch);
       for (int l = 0; l < nl; ++l) bp[l] *= alpha;
     }
   }
@@ -186,33 +194,33 @@ void scale_chunk(int m, int n, double alpha, double* b, int ldb, int batch,
 /// block of the blocked path). Mirrors mk::trsm_tiny_cols's col_step:
 /// per rhs column, forward (lower) or backward (upper) over pivots, with
 /// `x[j] /= d` then `x[i] -= a(i,j) * xj` — lane-innermost.
-template <int MS, int NLT>
+template <int MS, int NLT, typename T>
 #if defined(__GNUC__)
 __attribute__((noinline))
 #endif
 void left_subst(int mr, int nrhs, bool lower, bool unit,
-                const double* __restrict t, int ldt, double* __restrict x,
-                int ldx, int batch, int nlr) {
+                const T* __restrict t, int ldt, T* __restrict x, int ldx,
+                int batch, int nlr) {
   const int nl = NLT > 0 ? NLT : nlr;
   const int m = MS > 0 ? MS : mr;
   for (int c = 0; c < nrhs; ++c) {
     for (int jj = 0; jj < m; ++jj) {
       const int j = lower ? jj : m - 1 - jj;
-      double* xj = x + at(j, c, ldx, batch);
+      T* xj = x + at(j, c, ldx, batch);
       if (!unit) {
-        const double* d = t + at(j, j, ldt, batch);
+        const T* d = t + at(j, j, ldt, batch);
         for (int l = 0; l < nl; ++l) xj[l] /= d[l];
       }
       // Snapshot the solved row: the update loop then touches x only
       // through xi, so the vectorizer needs no runtime overlap check
       // between the xj load and the xi store (same array, rows i != j).
-      double xjv[kVec];
+      T xjv[kVec];
       for (int l = 0; l < nl; ++l) xjv[l] = xj[l];
       const int i0 = lower ? j + 1 : 0;
       const int i1 = lower ? m : j;
       for (int i = i0; i < i1; ++i) {
-        const double* aij = t + at(i, j, ldt, batch);
-        double* xi = x + at(i, c, ldx, batch);
+        const T* aij = t + at(i, j, ldt, batch);
+        T* xi = x + at(i, c, ldx, batch);
         for (int l = 0; l < nl; ++l) xi[l] -= aij[l] * xjv[l];
       }
     }
@@ -223,13 +231,12 @@ void left_subst(int mr, int nrhs, bool lower, bool unit,
 /// mk::trsm_right_small's solve_col: per solved column j (backward for
 /// lower, forward for upper), fold each dependency column with the
 /// per-lane `e == 0` skip, then divide by the diagonal for NonUnit.
-template <int NS, int NLT>
+template <int NS, int NLT, typename T>
 #if defined(__GNUC__)
 __attribute__((noinline))
 #endif
-void right_subst(int nr, int m, bool lower, bool unit,
-                 const double* __restrict t, int ldt, double* __restrict x,
-                 int ldx, int batch, int nlr) {
+void right_subst(int nr, int m, bool lower, bool unit, const T* __restrict t,
+                 int ldt, T* __restrict x, int ldx, int batch, int nlr) {
   const int nl = NLT > 0 ? NLT : nlr;
   const int n = NS > 0 ? NS : nr;
   for (int jj = 0; jj < n; ++jj) {
@@ -240,81 +247,86 @@ void right_subst(int nr, int m, bool lower, bool unit,
       // The multiplier column entry is invariant over i; snapshotting it
       // (and the dependency column per row) leaves the update loop with
       // x touched only through xji, so no runtime overlap checks.
-      double ev[kVec];
-      const double* e = t + at(p, j, ldt, batch);
+      T ev[kVec];
+      const T* e = t + at(p, j, ldt, batch);
       for (int l = 0; l < nl; ++l) ev[l] = e[l];
       for (int i = 0; i < m; ++i) {
-        double* xji = x + at(i, j, ldx, batch);
-        const double* xpi = x + at(i, p, ldx, batch);
-        double xpv[kVec];
+        T* xji = x + at(i, j, ldx, batch);
+        const T* xpi = x + at(i, p, ldx, batch);
+        T xpv[kVec];
         for (int l = 0; l < nl; ++l) xpv[l] = xpi[l];
         // If-converted form of the per-lane `e == 0` skip: lanes with a
         // zero multiplier store their old value back unchanged (NOT
         // `-= 0.0`, which would flip the sign of a -0.0), so the guard
         // becomes a select and the loop vectorizes.
         for (int l = 0; l < nl; ++l) {
-          xji[l] = ev[l] != 0.0 ? xji[l] - xpv[l] * ev[l] : xji[l];
+          xji[l] = ev[l] != T(0) ? xji[l] - xpv[l] * ev[l] : xji[l];
         }
       }
     }
     if (!unit) {
-      double dv[kVec];
-      const double* d = t + at(j, j, ldt, batch);
+      T dv[kVec];
+      const T* d = t + at(j, j, ldt, batch);
       for (int l = 0; l < nl; ++l) dv[l] = d[l];
       for (int i = 0; i < m; ++i) {
-        double* xji = x + at(i, j, ldx, batch);
+        T* xji = x + at(i, j, ldx, batch);
         for (int l = 0; l < nl; ++l) xji[l] /= dv[l];
       }
     }
   }
 }
 
-template <int TS>
+template <int TS, typename T>
 void trsm_left_fn(const Kernel& kd, const Args& g) {
   const int m = TS > 0 ? TS : kd.m;
   const int n = kd.n;
   if (m <= 0 || n <= 0) return;
   const bool lower = kd.lower;
   const bool unit = kd.unit;
+  const T alpha = static_cast<T>(g.alpha);
   for (int l0 = g.lane0; l0 < g.lane1; l0 += kVec) {
     const int nl = std::min(kVec, g.lane1 - l0);
-    const double* t = g.a + l0;
-    double* b = g.c + l0;
+    const T* t = static_cast<const T*>(g.a) + l0;
+    T* b = static_cast<T*>(g.c) + l0;
     const int ldt = g.lda;
     const int ldx = g.ldc;
     const auto chunk = [&]<int NLT>() {
-      scale_chunk<NLT>(m, n, g.alpha, b, ldx, g.batch, nl);
+      scale_chunk<NLT, T>(m, n, alpha, b, ldx, g.batch, nl);
       if (TS > 0 || m <= 16) {
-        left_subst<TS, NLT>(m, n, lower, unit, t, ldt, b, ldx, g.batch, nl);
+        left_subst<TS, NLT, T>(m, n, lower, unit, t, ldt, b, ldx, g.batch,
+                               nl);
         return;
       }
       // 16-blocked structure of la::trsm, Left, Trans::No.
       if (lower) {
         for (int i0 = 0; i0 < m; i0 += 16) {
           const int ib = std::min(16, m - i0);
-          left_subst<0, NLT>(ib, n, true, unit, t + at(i0, i0, ldt, g.batch),
-                             ldt, b + at(i0, 0, ldx, g.batch), ldx, g.batch,
-                             nl);
+          left_subst<0, NLT, T>(ib, n, true, unit,
+                                t + at(i0, i0, ldt, g.batch), ldt,
+                                b + at(i0, 0, ldx, g.batch), ldx, g.batch,
+                                nl);
           const int rm = m - i0 - ib;
           if (rm > 0) {
-            gemm_chunk<0, NLT>(rm, n, ib, -1.0,
-                               t + at(i0 + ib, i0, ldt, g.batch), ldt,
-                               b + at(i0, 0, ldx, g.batch), ldx,
-                               b + at(i0 + ib, 0, ldx, g.batch), ldx, g.batch,
-                               nl);
+            gemm_chunk<0, NLT, T>(rm, n, ib, T(-1),
+                                  t + at(i0 + ib, i0, ldt, g.batch), ldt,
+                                  b + at(i0, 0, ldx, g.batch), ldx,
+                                  b + at(i0 + ib, 0, ldx, g.batch), ldx,
+                                  g.batch, nl);
           }
         }
       } else {
         const int last = ((m - 1) / 16) * 16;
         for (int i0 = last; i0 >= 0; i0 -= 16) {
           const int ib = std::min(16, m - i0);
-          left_subst<0, NLT>(ib, n, false, unit, t + at(i0, i0, ldt, g.batch),
-                             ldt, b + at(i0, 0, ldx, g.batch), ldx, g.batch,
-                             nl);
+          left_subst<0, NLT, T>(ib, n, false, unit,
+                                t + at(i0, i0, ldt, g.batch), ldt,
+                                b + at(i0, 0, ldx, g.batch), ldx, g.batch,
+                                nl);
           if (i0 > 0) {
-            gemm_chunk<0, NLT>(i0, n, ib, -1.0, t + at(0, i0, ldt, g.batch),
-                               ldt, b + at(i0, 0, ldx, g.batch), ldx, b, ldx,
-                               g.batch, nl);
+            gemm_chunk<0, NLT, T>(i0, n, ib, T(-1),
+                                  t + at(0, i0, ldt, g.batch), ldt,
+                                  b + at(i0, 0, ldx, g.batch), ldx, b, ldx,
+                                  g.batch, nl);
           }
         }
       }
@@ -326,23 +338,25 @@ void trsm_left_fn(const Kernel& kd, const Args& g) {
   }
 }
 
-template <int TS>
+template <int TS, typename T>
 void trsm_right_fn(const Kernel& kd, const Args& g) {
   const int m = kd.m;
   const int n = TS > 0 ? TS : kd.n;
   if (m <= 0 || n <= 0) return;
   const bool lower = kd.lower;
   const bool unit = kd.unit;
+  const T alpha = static_cast<T>(g.alpha);
   for (int l0 = g.lane0; l0 < g.lane1; l0 += kVec) {
     const int nl = std::min(kVec, g.lane1 - l0);
-    const double* t = g.a + l0;
-    double* b = g.c + l0;
+    const T* t = static_cast<const T*>(g.a) + l0;
+    T* b = static_cast<T*>(g.c) + l0;
     const int ldt = g.lda;
     const int ldx = g.ldc;
     const auto chunk = [&]<int NLT>() {
-      scale_chunk<NLT>(m, n, g.alpha, b, ldx, g.batch, nl);
+      scale_chunk<NLT, T>(m, n, alpha, b, ldx, g.batch, nl);
       if (TS > 0 || n <= 16) {
-        right_subst<TS, NLT>(n, m, lower, unit, t, ldt, b, ldx, g.batch, nl);
+        right_subst<TS, NLT, T>(n, m, lower, unit, t, ldt, b, ldx, g.batch,
+                                nl);
         return;
       }
       // 16-blocked structure of la::trsm, Right, Trans::No.
@@ -350,27 +364,31 @@ void trsm_right_fn(const Kernel& kd, const Args& g) {
         const int last = ((n - 1) / 16) * 16;
         for (int j0 = last; j0 >= 0; j0 -= 16) {
           const int jb = std::min(16, n - j0);
-          right_subst<0, NLT>(jb, m, true, unit, t + at(j0, j0, ldt, g.batch),
-                              ldt, b + at(0, j0, ldx, g.batch), ldx, g.batch,
-                              nl);
+          right_subst<0, NLT, T>(jb, m, true, unit,
+                                 t + at(j0, j0, ldt, g.batch), ldt,
+                                 b + at(0, j0, ldx, g.batch), ldx, g.batch,
+                                 nl);
           if (j0 > 0) {
-            gemm_chunk<0, NLT>(m, j0, jb, -1.0, b + at(0, j0, ldx, g.batch),
-                               ldx, t + at(j0, 0, ldt, g.batch), ldt, b, ldx,
-                               g.batch, nl);
+            gemm_chunk<0, NLT, T>(m, j0, jb, T(-1),
+                                  b + at(0, j0, ldx, g.batch), ldx,
+                                  t + at(j0, 0, ldt, g.batch), ldt, b, ldx,
+                                  g.batch, nl);
           }
         }
       } else {
         for (int j0 = 0; j0 < n; j0 += 16) {
           const int jb = std::min(16, n - j0);
-          right_subst<0, NLT>(jb, m, false, unit,
-                              t + at(j0, j0, ldt, g.batch), ldt,
-                              b + at(0, j0, ldx, g.batch), ldx, g.batch, nl);
+          right_subst<0, NLT, T>(jb, m, false, unit,
+                                 t + at(j0, j0, ldt, g.batch), ldt,
+                                 b + at(0, j0, ldx, g.batch), ldx, g.batch,
+                                 nl);
           const int rn = n - j0 - jb;
           if (rn > 0) {
-            gemm_chunk<0, NLT>(m, rn, jb, -1.0, b + at(0, j0, ldx, g.batch),
-                               ldx, t + at(j0, j0 + jb, ldt, g.batch), ldt,
-                               b + at(0, j0 + jb, ldx, g.batch), ldx, g.batch,
-                               nl);
+            gemm_chunk<0, NLT, T>(m, rn, jb, T(-1),
+                                  b + at(0, j0, ldx, g.batch), ldx,
+                                  t + at(j0, j0 + jb, ldt, g.batch), ldt,
+                                  b + at(0, j0 + jb, ldx, g.batch), ldx,
+                                  g.batch, nl);
           }
         }
       }
@@ -390,7 +408,7 @@ void trsm_right_fn(const Kernel& kd, const Args& g) {
 /// bookkeeping are scalar per lane (data-dependent branches); the swap,
 /// reciprocal scaling and rank-1 update — the bulk of the work — run
 /// lane-innermost.
-template <int NLT>
+template <int NLT, typename T>
 #if defined(__GNUC__)
 __attribute__((noinline))
 #endif
@@ -399,7 +417,7 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
   const int kmin = std::min(m, n);
   const int ld = g.ldc;
   {
-    double* a = g.c + l0;
+    T* a = static_cast<T*>(g.c) + l0;
     int linfo[kVec];
     double thr[kVec];
     for (int l = 0; l < nl; ++l) {
@@ -412,47 +430,47 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
     }
     for (int j = 0; j < kmin; ++j) {
       int prow[kVec];
-      double pokm[kVec];  // 1.0 when the pivot is usable (double: selects
-                          // over a bool[] defeat the vectorizer)
-      double inv[kVec];
+      T pokm[kVec];  // 1 when the pivot is usable (arithmetic type:
+                     // selects over a bool[] defeat the vectorizer)
+      T inv[kVec];
       // la::iamax over column j from row j, vectorized across lanes: NaN
       // at the start index wins immediately, a later NaN wins at its
       // index, otherwise strict >. The scalar early-exit becomes a
       // per-lane `frozen` mask; a frozen lane ignores every later row,
       // which reproduces the break exactly. `bestt` holds the row offset
-      // as a double (exact for these magnitudes) so the whole loop is
-      // one homogeneous select nest.
-      double bestv[kVec];
-      double bests[kVec];  // signed value at the winning row: the scan
-                           // already visits it, so keeping it here spares
-                           // the epilogue a per-lane strided gather
-      double bestt[kVec];
-      double frozen[kVec];
+      // as an arithmetic value (exact for these magnitudes) so the whole
+      // loop is one homogeneous select nest.
+      T bestv[kVec];
+      T bests[kVec];  // signed value at the winning row: the scan
+                      // already visits it, so keeping it here spares
+                      // the epilogue a per-lane strided gather
+      T bestt[kVec];
+      T frozen[kVec];
       {
-        const double* c0 = a + at(j, j, ld, g.batch);
+        const T* c0 = a + at(j, j, ld, g.batch);
         for (int l = 0; l < nl; ++l) {
-          const double v0 = std::abs(c0[l]);
+          const T v0 = std::abs(c0[l]);
           bestv[l] = v0;
           bests[l] = c0[l];
-          bestt[l] = 0.0;
-          frozen[l] = v0 != v0 ? 1.0 : 0.0;
+          bestt[l] = T(0);
+          frozen[l] = v0 != v0 ? T(1) : T(0);
         }
       }
       for (int t = 1; t < m - j; ++t) {
-        const double* ct = a + at(j + t, j, ld, g.batch);
+        const T* ct = a + at(j + t, j, ld, g.batch);
         for (int l = 0; l < nl; ++l) {
-          const double v = std::abs(ct[l]);
+          const T v = std::abs(ct[l]);
           // Bitwise (non-short-circuit) combines: && would reintroduce
           // branches and block if-conversion of the whole select nest.
           const bool isn = v != v;
-          const bool live = frozen[l] == 0.0;
+          const bool live = frozen[l] == T(0);
           const bool take_nan = live & isn;
           const bool take_gt = live & !isn & (v > bestv[l]);
           const bool take = take_nan | take_gt;
-          bestt[l] = take ? static_cast<double>(t) : bestt[l];
+          bestt[l] = take ? static_cast<T>(t) : bestt[l];
           bests[l] = take ? ct[l] : bests[l];
           bestv[l] = take_gt ? v : bestv[l];
-          frozen[l] = take_nan ? 1.0 : frozen[l];
+          frozen[l] = take_nan ? T(1) : frozen[l];
         }
       }
       if (g.tau > 0.0 && g.anorm != nullptr) {
@@ -462,24 +480,24 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
           const int lane = l0 + l;
           const int p = j + static_cast<int>(bestt[l]);
           g.ipiv[lane][j] = p;
-          double pv = bests[l];
-          if (pv == 0.0 && linfo[l] == 0) linfo[l] = j + 1;
+          T pv = bests[l];
+          if (pv == T(0) && linfo[l] == 0) linfo[l] = j + 1;
           if (thr[l] > 0.0 && std::abs(pv) < thr[l]) {
             pv = la::boosted_pivot(pv, thr[l]);
             a[at(p, j, ld, g.batch) + l] = pv;
             if (g.boost != nullptr) ++g.boost[lane];
           }
           prow[l] = p;
-          pokm[l] = pv != 0.0 ? 1.0 : 0.0;
+          pokm[l] = pv != T(0) ? T(1) : T(0);
         }
       } else {
         // Common (unboosted) path: pure selects, no memory traffic beyond
         // the ipiv stores, so the whole epilogue if-converts.
         for (int l = 0; l < nl; ++l) {
-          const double pv = bests[l];
+          const T pv = bests[l];
           prow[l] = j + static_cast<int>(bestt[l]);
-          linfo[l] = (pv == 0.0) & (linfo[l] == 0) ? j + 1 : linfo[l];
-          pokm[l] = pv != 0.0 ? 1.0 : 0.0;
+          linfo[l] = (pv == T(0)) & (linfo[l] == 0) ? j + 1 : linfo[l];
+          pokm[l] = pv != T(0) ? T(1) : T(0);
         }
         for (int l = 0; l < nl; ++l) g.ipiv[l0 + l][j] = prow[l];
       }
@@ -494,7 +512,7 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
       std::ptrdiff_t doff[kVec];
       bool any_swap = false;
       for (int l = 0; l < nl; ++l) {
-        const bool sw = pokm[l] != 0.0 && prow[l] != j;
+        const bool sw = pokm[l] != T(0) && prow[l] != j;
         doff[l] = sw ? static_cast<std::ptrdiff_t>(prow[l] - j) *
                            static_cast<std::ptrdiff_t>(g.batch)
                      : 0;
@@ -502,8 +520,8 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
       }
       if (any_swap) {
         for (int c = 0; c < n; ++c) {
-          double* rowj = a + at(j, c, ld, g.batch);
-          double jv[kVec], ov[kVec];
+          T* rowj = a + at(j, c, ld, g.batch);
+          T jv[kVec], ov[kVec];
           for (int l = 0; l < nl; ++l) jv[l] = rowj[l];
           for (int l = 0; l < nl; ++l) ov[l] = rowj[doff[l] + l];
           for (int l = 0; l < nl; ++l) rowj[l] = ov[l];
@@ -512,36 +530,37 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
       }
       // Reciprocal scale of the subdiagonal (la::scal with inv = 1/pivot).
       for (int l = 0; l < nl; ++l) {
-        inv[l] = pokm[l] != 0.0 ? 1.0 / a[at(j, j, ld, g.batch) + l] : 1.0;
+        inv[l] =
+            pokm[l] != T(0) ? T(1) / a[at(j, j, ld, g.batch) + l] : T(1);
       }
       // If-converted (select, not `*= 1.0`): dead lanes keep their exact
       // old bits and the loop vectorizes.
       for (int i = j + 1; i < m; ++i) {
-        double* col = a + at(i, j, ld, g.batch);
+        T* col = a + at(i, j, ld, g.batch);
         for (int l = 0; l < nl; ++l) {
-          col[l] = pokm[l] != 0.0 ? col[l] * inv[l] : col[l];
+          col[l] = pokm[l] != T(0) ? col[l] * inv[l] : col[l];
         }
       }
       // Unconditional rank-1 trailing update (la::ger runs even on a zero
       // pivot), with mk::ger_unit's per-column `yj == 0` skip per lane.
       for (int jj = j + 1; jj < n; ++jj) {
-        double yj[kVec];
-        const double* yrow = a + at(j, jj, ld, g.batch);
-        for (int l = 0; l < nl; ++l) yj[l] = (-1.0) * yrow[l];
+        T yj[kVec];
+        const T* yrow = a + at(j, jj, ld, g.batch);
+        for (int l = 0; l < nl; ++l) yj[l] = T(-1) * yrow[l];
         // If-converted form of mk::ger_unit's `yj == 0` column skip: the
         // skipped lane stores its old value back bit-for-bit (a `+= 0.0`
         // would lose a -0.0), turning the guard into a vectorizable
         // select.
         for (int i = j + 1; i < m; ++i) {
-          const double* x = a + at(i, j, ld, g.batch);
-          double* cc = a + at(i, jj, ld, g.batch);
+          const T* x = a + at(i, j, ld, g.batch);
+          T* cc = a + at(i, jj, ld, g.batch);
           // Snapshot the multiplier column entry so the update loop
           // touches `a` only through cc (columns j and jj are disjoint;
           // the copy just makes that visible to the vectorizer).
-          double xv[kVec];
+          T xv[kVec];
           for (int l = 0; l < nl; ++l) xv[l] = x[l];
           for (int l = 0; l < nl; ++l) {
-            cc[l] = yj[l] != 0.0 ? cc[l] + xv[l] * yj[l] : cc[l];
+            cc[l] = yj[l] != T(0) ? cc[l] + xv[l] * yj[l] : cc[l];
           }
         }
       }
@@ -554,75 +573,92 @@ void getf2_chunk(int m, int n, const Args& g, int l0, int nlr) {
   }
 }
 
+template <typename T>
 void getf2_fn(const Kernel& kd, const Args& g) {
   const int m = kd.m;
   const int n = kd.n;
   for (int l0 = g.lane0; l0 < g.lane1; l0 += kVec) {
     const int nl = std::min(kVec, g.lane1 - l0);
     if (nl == kVec)
-      getf2_chunk<kVec>(m, n, g, l0, nl);
+      getf2_chunk<kVec, T>(m, n, g, l0, nl);
     else
-      getf2_chunk<0>(m, n, g, l0, nl);
+      getf2_chunk<0, T>(m, n, g, l0, nl);
   }
 }
 
 // Size-specialization switch over a pinned dimension in [1, 16] (the
-// libxsmm idiom, same shape as mk::trsm_left_small's tiny dispatch).
-#define IRRLU_ILV_SPEC16(kd, fnbase, dim)       \
-  switch (dim) {                                \
-    case 1: (kd).fn = &fnbase<1>; break;        \
-    case 2: (kd).fn = &fnbase<2>; break;        \
-    case 3: (kd).fn = &fnbase<3>; break;        \
-    case 4: (kd).fn = &fnbase<4>; break;        \
-    case 5: (kd).fn = &fnbase<5>; break;        \
-    case 6: (kd).fn = &fnbase<6>; break;        \
-    case 7: (kd).fn = &fnbase<7>; break;        \
-    case 8: (kd).fn = &fnbase<8>; break;        \
-    case 9: (kd).fn = &fnbase<9>; break;        \
-    case 10: (kd).fn = &fnbase<10>; break;      \
-    case 11: (kd).fn = &fnbase<11>; break;      \
-    case 12: (kd).fn = &fnbase<12>; break;      \
-    case 13: (kd).fn = &fnbase<13>; break;      \
-    case 14: (kd).fn = &fnbase<14>; break;      \
-    case 15: (kd).fn = &fnbase<15>; break;      \
-    case 16: (kd).fn = &fnbase<16>; break;      \
-    default: (kd).fn = &fnbase<0>; break;       \
+// libxsmm idiom, same shape as mk::trsm_left_small's tiny dispatch), per
+// element type.
+#define IRRLU_ILV_SPEC16(kd, fnbase, dim, T)       \
+  switch (dim) {                                   \
+    case 1: (kd).fn = &fnbase<1, T>; break;        \
+    case 2: (kd).fn = &fnbase<2, T>; break;        \
+    case 3: (kd).fn = &fnbase<3, T>; break;        \
+    case 4: (kd).fn = &fnbase<4, T>; break;        \
+    case 5: (kd).fn = &fnbase<5, T>; break;        \
+    case 6: (kd).fn = &fnbase<6, T>; break;        \
+    case 7: (kd).fn = &fnbase<7, T>; break;        \
+    case 8: (kd).fn = &fnbase<8, T>; break;        \
+    case 9: (kd).fn = &fnbase<9, T>; break;        \
+    case 10: (kd).fn = &fnbase<10, T>; break;      \
+    case 11: (kd).fn = &fnbase<11, T>; break;      \
+    case 12: (kd).fn = &fnbase<12, T>; break;      \
+    case 13: (kd).fn = &fnbase<13, T>; break;      \
+    case 14: (kd).fn = &fnbase<14, T>; break;      \
+    case 15: (kd).fn = &fnbase<15, T>; break;      \
+    case 16: (kd).fn = &fnbase<16, T>; break;      \
+    default: (kd).fn = &fnbase<0, T>; break;       \
   }
 
 }  // namespace
 
-Kernel make_gemm(int m, int n, int k) {
+Kernel make_gemm(int m, int n, int k, Prec prec) {
   Kernel kd;
   kd.m = m;
   kd.n = n;
   kd.k = k;
-  IRRLU_ILV_SPEC16(kd, gemm_fn, k);
+  kd.prec = prec;
+  if (prec == Prec::kF32) {
+    IRRLU_ILV_SPEC16(kd, gemm_fn, k, float);
+  } else {
+    IRRLU_ILV_SPEC16(kd, gemm_fn, k, double);
+  }
   kd.spec = k >= 1 && k <= 16 ? k : 0;
   return kd;
 }
 
-Kernel make_trsm(bool left, bool lower, bool unit, int m, int n) {
+Kernel make_trsm(bool left, bool lower, bool unit, int m, int n, Prec prec) {
   Kernel kd;
   kd.m = m;
   kd.n = n;
   kd.left = left;
   kd.lower = lower;
   kd.unit = unit;
+  kd.prec = prec;
   int tri = left ? m : n;
   if (left) {
-    IRRLU_ILV_SPEC16(kd, trsm_left_fn, tri);
+    if (prec == Prec::kF32) {
+      IRRLU_ILV_SPEC16(kd, trsm_left_fn, tri, float);
+    } else {
+      IRRLU_ILV_SPEC16(kd, trsm_left_fn, tri, double);
+    }
   } else {
-    IRRLU_ILV_SPEC16(kd, trsm_right_fn, tri);
+    if (prec == Prec::kF32) {
+      IRRLU_ILV_SPEC16(kd, trsm_right_fn, tri, float);
+    } else {
+      IRRLU_ILV_SPEC16(kd, trsm_right_fn, tri, double);
+    }
   }
   kd.spec = tri >= 1 && tri <= 16 ? tri : 0;
   return kd;
 }
 
-Kernel make_getf2(int m, int n) {
+Kernel make_getf2(int m, int n, Prec prec) {
   Kernel kd;
-  kd.fn = &getf2_fn;
+  kd.fn = prec == Prec::kF32 ? &getf2_fn<float> : &getf2_fn<double>;
   kd.m = m;
   kd.n = n;
+  kd.prec = prec;
   return kd;
 }
 

@@ -26,21 +26,28 @@
 
 namespace irrlu::la::mk::ilv {
 
+/// Element precision of a kernel body. Every kernel runs its arithmetic
+/// entirely in its own precision (alpha/beta are converted on entry), so
+/// the f32 variants are per lane bit-identical to the strided engine path
+/// instantiated for float, exactly as the f64 variants are for double.
+enum class Prec { kF64, kF32 };
+
 /// Arguments of one interleaved kernel call. Pointers are class bases
-/// (already offset to the target submatrix); lane indexing of the per-lane
-/// arrays (ipiv/info/anorm/boost) is absolute, i.e. by the same lane index
-/// that addresses the SoA buffers.
+/// (already offset to the target submatrix) of the kernel's element type
+/// — the Kernel's Prec says whether they are double or float lanes; lane
+/// indexing of the per-lane arrays (ipiv/info/anorm/boost) is absolute,
+/// i.e. by the same lane index that addresses the SoA buffers.
 struct Args {
   int lane0 = 0;  ///< first lane of the slice
   int lane1 = 0;  ///< one past the last lane
   int batch = 0;  ///< full lane stride of the SoA buffers
   double alpha = 1.0;
   double beta = 1.0;
-  const double* a = nullptr;  ///< gemm A / trsm triangle
+  const void* a = nullptr;  ///< gemm A / trsm triangle
   int lda = 0;
-  const double* b = nullptr;  ///< gemm B
+  const void* b = nullptr;  ///< gemm B
   int ldb = 0;
-  double* c = nullptr;  ///< in/out matrix (gemm C, trsm B, getf2 A)
+  void* c = nullptr;  ///< in/out matrix (gemm C, trsm B, getf2 A)
   int ldc = 0;
   // getf2 extras (see la::getf2 and irr_getf2_fused):
   int* const* ipiv = nullptr;     ///< per-lane pivot arrays
@@ -65,6 +72,7 @@ struct Kernel {
   bool left = false;        ///< trsm side
   bool lower = false;       ///< trsm effective triangle
   bool unit = false;        ///< trsm diagonal
+  Prec prec = Prec::kF64;   ///< element type the body operates on
   int spec = 0;  ///< pinned compile-time dimension, 0 = generic fallback
 };
 
@@ -73,13 +81,14 @@ struct Kernel {
 /// k-ascending accumulation chain per element — exact for k <= KC = 256,
 /// which covers every small size class routed through this layout).
 /// Specialized over k in [1, 16].
-Kernel make_gemm(int m, int n, int k);
+Kernel make_gemm(int m, int n, int k, Prec prec = Prec::kF64);
 
 /// Triangular solve, Trans::No: op over B (m x n) with the triangle A
 /// (order m for left, n for right), per lane bit-identical to la::trsm
 /// including its alpha scaling and its 16-blocked substitution structure
 /// above order 16. Specialized over triangle orders in [1, 16].
-Kernel make_trsm(bool left, bool lower, bool unit, int m, int n);
+Kernel make_trsm(bool left, bool lower, bool unit, int m, int n,
+                 Prec prec = Prec::kF64);
 
 /// Unblocked right-looking LU with partial pivoting and optional
 /// small-pivot boosting, per lane bit-identical to la::getf2 (and so to
@@ -88,6 +97,6 @@ Kernel make_trsm(bool left, bool lower, bool unit, int m, int n);
 /// reciprocal scaling, boost rule and LAPACK info latching all replicate
 /// exactly. Generic only — the column loop is data-dependent, so there is
 /// no profitable dimension to pin.
-Kernel make_getf2(int m, int n);
+Kernel make_getf2(int m, int n, Prec prec = Prec::kF64);
 
 }  // namespace irrlu::la::mk::ilv

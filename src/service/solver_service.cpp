@@ -24,6 +24,10 @@ const char* to_string(Admission a) {
 struct SolverService::Session {
   std::uint64_t hash = 0;
   sparse::CsrMatrix pattern;  ///< representative matrix (structure only)
+  /// Factor precision of this session — part of the cache key: the same
+  /// pattern under a different policy is a different session (different
+  /// numeric factor, different footprint).
+  sparse::PrecisionPolicy policy = sparse::PrecisionPolicy::kF64;
   std::unique_ptr<sparse::SparseDirectSolver> solver;
   std::vector<double> vals;  ///< values of the resident factor
   bool factored = false;
@@ -60,10 +64,14 @@ std::size_t SolverService::resident_factor_bytes() const {
 }
 
 const sparse::SparseDirectSolver* SolverService::peek(
-    const sparse::CsrMatrix& a) const {
+    const sparse::CsrMatrix& a,
+    std::optional<sparse::PrecisionPolicy> precision) const {
   const std::uint64_t h = a.pattern_hash();
+  const sparse::PrecisionPolicy pol =
+      precision.value_or(opts_.solver.factor.precision);
   for (const auto& s : sessions_)
-    if (s->hash == h && s->pattern.same_pattern(a)) return s->solver.get();
+    if (s->hash == h && s->policy == pol && s->pattern.same_pattern(a))
+      return s->solver.get();
   return nullptr;
 }
 
@@ -84,10 +92,11 @@ void SolverService::bump_tenant(const std::string& tenant, const char* name,
     t->add_counter("service.tenant." + tenant + "." + name, v);
 }
 
-SolverService::Session* SolverService::find_session(const sparse::CsrMatrix& a,
-                                                    std::uint64_t hash) {
+SolverService::Session* SolverService::find_session(
+    const sparse::CsrMatrix& a, std::uint64_t hash,
+    sparse::PrecisionPolicy policy) {
   for (auto& s : sessions_)
-    if (s->hash == hash && s->pattern.same_pattern(a)) {
+    if (s->hash == hash && s->policy == policy && s->pattern.same_pattern(a)) {
       s->tick = ++lru_tick_;
       return s.get();
     }
@@ -135,25 +144,33 @@ std::vector<SolveResponse> SolverService::flush() {
   if (reqs.empty()) return out;
   IRRLU_TRACE_SCOPE(dev_.tracer(), "service.flush");
 
-  // Group the pending requests by sparsity pattern. Hash first, then an
-  // exact same_pattern() confirmation against the group representative, so
-  // a hash collision can never merge two structures.
+  // Group the pending requests by (sparsity pattern, precision policy).
+  // Hash first, then an exact same_pattern() confirmation against the
+  // group representative, so a hash collision can never merge two
+  // structures; different precision policies never share a group even on
+  // the same pattern — their factors are different numeric objects.
+  auto policy_of = [&](const SolveRequest& r) {
+    return r.precision.value_or(opts_.solver.factor.precision);
+  };
   struct Group {
     std::uint64_t hash = 0;
+    sparse::PrecisionPolicy policy = sparse::PrecisionPolicy::kF64;
     std::vector<std::size_t> idx;  ///< request indices, submission order
   };
   std::vector<Group> groups;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const std::uint64_t h = reqs[i].a.pattern_hash();
+    const sparse::PrecisionPolicy pol = policy_of(reqs[i]);
     out[i].pattern_hash = h;
     Group* g = nullptr;
     for (auto& cand : groups)
-      if (cand.hash == h && reqs[cand.idx.front()].a.same_pattern(reqs[i].a)) {
+      if (cand.hash == h && cand.policy == pol &&
+          reqs[cand.idx.front()].a.same_pattern(reqs[i].a)) {
         g = &cand;
         break;
       }
     if (g == nullptr) {
-      groups.push_back(Group{h, {}});
+      groups.push_back(Group{h, pol, {}});
       g = &groups.back();
     }
     g->idx.push_back(i);
@@ -166,7 +183,7 @@ std::vector<SolveResponse> SolverService::flush() {
     // request in the group) or fresh (one analyze run, charged to the
     // group's first request; the rest of the group still counts as hits —
     // they did not pay for an analyze).
-    Session* sess = find_session(rep.a, g.hash);
+    Session* sess = find_session(rep.a, g.hash, g.policy);
     const bool group_cached = sess != nullptr;
     const std::size_t group_head = g.idx.front();
     auto symbolic_hit = [&](std::size_t i) {
@@ -176,8 +193,10 @@ std::vector<SolveResponse> SolverService::flush() {
       auto fresh = std::make_unique<Session>();
       fresh->hash = g.hash;
       fresh->pattern = rep.a;
-      fresh->solver =
-          std::make_unique<sparse::SparseDirectSolver>(opts_.solver);
+      fresh->policy = g.policy;
+      sparse::SolverOptions so = opts_.solver;
+      so.factor.precision = g.policy;
+      fresh->solver = std::make_unique<sparse::SparseDirectSolver>(so);
       // Analyze is host-only (no simulated device time), so its latency
       // histogram records wall seconds.
       const auto wall0 = std::chrono::steady_clock::now();
@@ -187,8 +206,15 @@ std::vector<SolveResponse> SolverService::flush() {
                    std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall0)
                        .count());
-      fresh->predicted_peak = fresh->solver->symbolic().predicted_peak_bytes(
-          opts_.solver.factor.memory);
+      // Precision-aware peak: FP32 levels store and stage at half width,
+      // so admission control budgets the policy's true footprint.
+      const auto& sym = fresh->solver->symbolic();
+      std::vector<sparse::Precision> lp(sym.levels.size());
+      for (std::size_t l = 0; l < lp.size(); ++l)
+        lp[l] = sparse::level_precision(g.policy, static_cast<int>(l),
+                                        so.factor.adaptive_root_levels);
+      fresh->predicted_peak =
+          sym.predicted_peak_bytes(so.factor.memory, lp);
       ++stats_.analyze_runs;
       bump("service.analyze_runs", 1);
       if (!admit(fresh->predicted_peak, nullptr)) {

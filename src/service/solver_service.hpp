@@ -4,10 +4,13 @@
 // circuit / power-grid workloads re-solving as values and source terms
 // change). The service accepts a stream of (tenant, matrix, rhs) requests
 // and amortizes the expensive phases across them:
-//   - a pattern-keyed LRU cache of symbolic analyses and numeric factors:
-//     requests whose matrix hashes (CsrMatrix::pattern_hash) to a cached
-//     session skip analyze() entirely (refactor path), and requests whose
-//     values are bit-identical to the cached factor skip factorization too;
+//   - a (pattern, precision-policy)-keyed LRU cache of symbolic analyses
+//     and numeric factors: requests whose matrix hashes
+//     (CsrMatrix::pattern_hash) to a cached session with the same factor
+//     precision skip analyze() entirely (refactor path), and requests
+//     whose values are bit-identical to the cached factor skip
+//     factorization too; FP32 factors are billed at their true (half)
+//     resident byte cost by admission control;
 //   - an interleaved many-RHS solve path: all pending right-hand sides
 //     against one factor are gathered into a single batched triangular
 //     sweep (SparseDirectSolver::solve_report_many), reading the factor
@@ -27,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,6 +75,13 @@ struct SolveRequest {
   std::string tenant;
   sparse::CsrMatrix a;
   std::vector<double> b;
+  /// Per-request factor precision policy (DESIGN.md §14). Sessions are
+  /// keyed by (pattern, policy): a tenant asking for kF32 never reuses —
+  /// and is never served by — a kF64 factor of the same pattern, because
+  /// the factors are numerically different objects with different
+  /// footprints. Unset = the service-wide
+  /// ServiceOptions::solver.factor.precision.
+  std::optional<sparse::PrecisionPolicy> precision;
 };
 
 /// Per-request outcome: the numerical report plus the service-level
@@ -163,15 +174,19 @@ class SolverService {
   void clear_cache();
 
   /// Read-only view of the cached per-pattern solver holding `a`'s
-  /// sparsity pattern, nullptr when not cached. Does not touch the LRU
-  /// order — this is the oracle tests and bench_service use to compare a
+  /// sparsity pattern under `precision` (unset = the service default
+  /// policy), nullptr when not cached. Does not touch the LRU order —
+  /// this is the oracle tests and bench_service use to compare a
   /// cached-refactor factor bit-for-bit against an uncached twin.
-  const sparse::SparseDirectSolver* peek(const sparse::CsrMatrix& a) const;
+  const sparse::SparseDirectSolver* peek(
+      const sparse::CsrMatrix& a,
+      std::optional<sparse::PrecisionPolicy> precision = std::nullopt) const;
 
  private:
   struct Session;
 
-  Session* find_session(const sparse::CsrMatrix& a, std::uint64_t hash);
+  Session* find_session(const sparse::CsrMatrix& a, std::uint64_t hash,
+                        sparse::PrecisionPolicy policy);
   /// Evicts LRU sessions (excluding `keep`) until the cache has room for
   /// one more entry and, when a budget is set, until
   /// `resident + incoming_peak <= budget`. Returns false when the budget

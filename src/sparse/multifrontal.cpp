@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <memory>
@@ -26,6 +27,23 @@ const char* to_string(Engine e) {
   return "?";
 }
 
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kF64: return "f64";
+    case Precision::kF32: return "f32";
+  }
+  return "?";
+}
+
+const char* to_string(PrecisionPolicy p) {
+  switch (p) {
+    case PrecisionPolicy::kF64: return "f64";
+    case PrecisionPolicy::kF32: return "f32";
+    case PrecisionPolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Trace label bucketing a front group by its largest front dimension —
@@ -43,12 +61,14 @@ const char* front_class(const std::vector<int>& ids,
 }
 
 /// Working storage for the square fronts, in either memory discipline.
-/// base(f) is valid while f's level is live.
+/// base<T>(f) is valid while f's level is live; each level's buffer is
+/// allocated in that level's policy-selected precision (double or float —
+/// FP32 levels hold half the bytes, the mixed-precision point).
 class FrontStorage {
  public:
   FrontStorage(gpusim::Device& dev, const SymbolicAnalysis& sym,
-               MemoryMode mode)
-      : dev_(dev), sym_(sym), mode_(mode) {
+               MemoryMode mode, const std::vector<Precision>& level_prec)
+      : dev_(dev), sym_(sym), mode_(mode), level_prec_(level_prec) {
     const auto nf = sym.fronts.size();
     offset_.resize(nf);
     level_elems_.assign(sym.levels.size(), 0);
@@ -62,6 +82,7 @@ class FrontStorage {
       level_elems_[lvl] += elems;
     }
     buffers_.resize(sym.levels.size());
+    buffers_f_.resize(sym.levels.size());
     if (mode_ == MemoryMode::kAllUpfront)
       for (std::size_t lvl = 0; lvl < buffers_.size(); ++lvl) {
         // Upfront allocations carry the same level=N tag the stacked
@@ -73,36 +94,56 @@ class FrontStorage {
       }
   }
 
+  Precision prec(int lvl) const {
+    return level_prec_[static_cast<std::size_t>(lvl)];
+  }
+
   void ensure_level(int lvl) {
-    auto& buf = buffers_[static_cast<std::size_t>(lvl)];
-    if (buf.data() == nullptr &&
-        level_elems_[static_cast<std::size_t>(lvl)] > 0) {
+    const auto l = static_cast<std::size_t>(lvl);
+    if (level_elems_[l] == 0) return;
+    if (level_prec_[l] == Precision::kF32) {
+      if (buffers_f_[l].data() == nullptr) {
+        IRRLU_TRACE_SCOPE(dev_.tracer(), "front-store");
+        buffers_f_[l] = dev_.alloc<float>(level_elems_[l]);
+      }
+    } else if (buffers_[l].data() == nullptr) {
       IRRLU_TRACE_SCOPE(dev_.tracer(), "front-store");
-      buf = dev_.alloc<double>(level_elems_[static_cast<std::size_t>(lvl)]);
+      buffers_[l] = dev_.alloc<double>(level_elems_[l]);
     }
   }
 
   void release_level(int lvl) {
-    if (mode_ == MemoryMode::kStackedLevels)
+    if (mode_ == MemoryMode::kStackedLevels) {
       buffers_[static_cast<std::size_t>(lvl)].release();
+      buffers_f_[static_cast<std::size_t>(lvl)].release();
+    }
   }
 
-  double* base(int f) const {
+  template <typename T>
+  T* base(int f) const {
     const auto lvl =
         static_cast<std::size_t>(sym_.fronts[static_cast<std::size_t>(f)]
                                      .level);
-    IRRLU_DEBUG_ASSERT(buffers_[lvl].data() != nullptr ||
-                       offset_[static_cast<std::size_t>(f)] == 0);
-    return buffers_[lvl].data() + offset_[static_cast<std::size_t>(f)];
+    if constexpr (std::is_same_v<T, float>) {
+      IRRLU_DEBUG_ASSERT(buffers_f_[lvl].data() != nullptr ||
+                         offset_[static_cast<std::size_t>(f)] == 0);
+      return buffers_f_[lvl].data() + offset_[static_cast<std::size_t>(f)];
+    } else {
+      IRRLU_DEBUG_ASSERT(buffers_[lvl].data() != nullptr ||
+                         offset_[static_cast<std::size_t>(f)] == 0);
+      return buffers_[lvl].data() + offset_[static_cast<std::size_t>(f)];
+    }
   }
 
  private:
   gpusim::Device& dev_;
   const SymbolicAnalysis& sym_;
   MemoryMode mode_;
+  std::vector<Precision> level_prec_;     ///< per-level precision
   std::vector<std::size_t> offset_;       ///< within the level buffer
   std::vector<std::size_t> level_elems_;  ///< elements per level
   std::vector<gpusim::DeviceBuffer<double>> buffers_;
+  std::vector<gpusim::DeviceBuffer<float>> buffers_f_;
 };
 
 /// Device-resident descriptor arrays for a group of fronts (the per-level
@@ -110,8 +151,10 @@ class FrontStorage {
 struct FrontGroup {
   int count = 0;
   int smax = 0, umax = 0;
+  Precision prec = Precision::kF64;
   std::vector<int> ids;
   gpusim::DeviceBuffer<double*> f, f12, f21, f22;
+  gpusim::DeviceBuffer<float*> ff, ff12, ff21, ff22;
   gpusim::DeviceBuffer<int> ld, svec, uvec;
   gpusim::DeviceBuffer<int*> ipiv;
   gpusim::DeviceBuffer<int> info;
@@ -119,24 +162,35 @@ struct FrontGroup {
   /// max-magnitude front norm (the boost reference), boosted-pivot count,
   /// and post-factor max magnitude (for the growth estimate). Host-zeroed
   /// here because fronts skipped by a kernel's DCWI early return must read
-  /// as "no events", not as uninitialized device memory.
+  /// as "no events", not as uninitialized device memory. The extrema stay
+  /// double regardless of the group's factor precision.
   gpusim::DeviceBuffer<double> anorm, gmax;
   gpusim::DeviceBuffer<int> boost;
 
   FrontGroup(gpusim::Device& dev, const SymbolicAnalysis& sym,
              const std::vector<int>& group_ids, const FrontStorage& storage,
-             const std::vector<std::size_t>& ipiv_offset, int* ipiv_storage)
-      : ids(group_ids) {
+             const std::vector<std::size_t>& ipiv_offset, int* ipiv_storage,
+             Precision group_prec)
+      : prec(group_prec), ids(group_ids) {
     count = static_cast<int>(ids.size());
     const auto n = static_cast<std::size_t>(count);
     // Descriptor allocations tagged by the batch's front-size class (under
-    // the engine's level=N scope).
+    // the engine's level=N scope). Only the active precision's pointer
+    // arrays are allocated, so the pure-FP64 allocation sequence is
+    // unchanged from the single-precision-free code.
     IRRLU_TRACE_SCOPE(dev.tracer(),
                       dev.tracer() ? front_class(ids, sym) : "");
-    f = dev.alloc<double*>(n);
-    f12 = dev.alloc<double*>(n);
-    f21 = dev.alloc<double*>(n);
-    f22 = dev.alloc<double*>(n);
+    if (prec == Precision::kF32) {
+      ff = dev.alloc<float*>(n);
+      ff12 = dev.alloc<float*>(n);
+      ff21 = dev.alloc<float*>(n);
+      ff22 = dev.alloc<float*>(n);
+    } else {
+      f = dev.alloc<double*>(n);
+      f12 = dev.alloc<double*>(n);
+      f21 = dev.alloc<double*>(n);
+      f22 = dev.alloc<double*>(n);
+    }
     ld = dev.alloc<int>(n);
     svec = dev.alloc<int>(n);
     uvec = dev.alloc<int>(n);
@@ -152,13 +206,21 @@ struct FrontGroup {
     }
     for (std::size_t k = 0; k < n; ++k) {
       const Front& fr = sym.fronts[static_cast<std::size_t>(ids[k])];
-      double* base = storage.base(ids[k]);
       const int d = fr.dim();
       const int s = fr.s();
-      f[k] = base;
-      f12[k] = base + static_cast<std::ptrdiff_t>(s) * d;
-      f21[k] = base + s;
-      f22[k] = base + static_cast<std::ptrdiff_t>(s) * d + s;
+      if (prec == Precision::kF32) {
+        float* base = storage.base<float>(ids[k]);
+        ff[k] = base;
+        ff12[k] = base + static_cast<std::ptrdiff_t>(s) * d;
+        ff21[k] = base + s;
+        ff22[k] = base + static_cast<std::ptrdiff_t>(s) * d + s;
+      } else {
+        double* base = storage.base<double>(ids[k]);
+        f[k] = base;
+        f12[k] = base + static_cast<std::ptrdiff_t>(s) * d;
+        f21[k] = base + s;
+        f22[k] = base + static_cast<std::ptrdiff_t>(s) * d + s;
+      }
       ld[k] = d > 0 ? d : 1;
       svec[k] = s;
       uvec[k] = fr.u();
@@ -170,10 +232,35 @@ struct FrontGroup {
   }
 };
 
+/// Batched promotion of FP32 factor blocks into contiguous FP64 scratch —
+/// the charged conversion kernel the mixed-precision solve pays before
+/// running the double-precision triangular passes.
+struct PromoteMeta {
+  const float* src = nullptr;
+  double* dst = nullptr;
+  std::size_t n = 0;
+};
+
+void promote_fp32(gpusim::Device& dev, gpusim::Stream& stream,
+                  std::vector<PromoteMeta> metas) {
+  if (metas.empty()) return;
+  auto shared = std::make_shared<std::vector<PromoteMeta>>(std::move(metas));
+  const gpusim::LaunchConfig cfg{"mf_promote",
+                                 static_cast<int>(shared->size()), 0};
+  dev.launch(stream, cfg, [shared](gpusim::BlockCtx& ctx) {
+    const PromoteMeta& m = (*shared)[static_cast<std::size_t>(ctx.block())];
+    for (std::size_t i = 0; i < m.n; ++i)
+      m.dst[i] = static_cast<double>(m.src[i]);
+    ctx.record(0.0, static_cast<double>(m.n) *
+                        (sizeof(float) + sizeof(double)));
+  });
+}
+
 }  // namespace
 
 std::size_t MultifrontalFactor::factor_bytes() const {
   return factor_store_.size() * sizeof(double) +
+         factor_store_f_.size() * sizeof(float) +
          ipiv_storage_.size() * sizeof(int);
 }
 
@@ -197,21 +284,39 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   const std::size_t in_use0 = dev.bytes_in_use();
   dev.reset_peak_window();
 
+  // Per-level precision under the requested policy. Every front on a
+  // level shares one precision, so each (parent, child) extend-add pair
+  // has a single conversion direction.
+  level_prec_.resize(sym.levels.size());
+  for (std::size_t l = 0; l < sym.levels.size(); ++l)
+    level_prec_[l] = level_precision(opts.precision, static_cast<int>(l),
+                                     opts.adaptive_root_levels);
+
   // Compact factor store: L11\U11 (s x s) + U12 (s x u) + L21 (u x s).
+  // FP64 and FP32 fronts index disjoint stores; fstore_offset_[f] points
+  // into whichever store matches the front's level precision.
   fstore_offset_.resize(nf);
   ipiv_offset_.resize(nf);
-  std::size_t felems = 0, pivots = 0;
+  std::size_t felems = 0, felems_f = 0, pivots = 0;
   for (std::size_t i = 0; i < nf; ++i) {
-    fstore_offset_[i] = felems;
     ipiv_offset_[i] = pivots;
     const auto s = static_cast<std::size_t>(sym.fronts[i].s());
     const auto u = static_cast<std::size_t>(sym.fronts[i].u());
-    felems += s * s + 2 * s * u;
+    const auto elems = s * s + 2 * s * u;
+    if (level_prec_[static_cast<std::size_t>(sym.fronts[i].level)] ==
+        Precision::kF32) {
+      fstore_offset_[i] = felems_f;
+      felems_f += elems;
+    } else {
+      fstore_offset_[i] = felems;
+      felems += elems;
+    }
     pivots += s;
   }
   {
     IRRLU_TRACE_SCOPE(dev.tracer(), "factor-store");
     factor_store_ = dev.alloc<double>(felems);
+    if (felems_f > 0) factor_store_f_ = dev.alloc<float>(felems_f);
     ipiv_storage_ = dev.alloc<int>(pivots);
   }
 
@@ -240,7 +345,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       dev.tracer() != nullptr ? dev.tracer()->launches().size() : 0;
   auto& stream = dev.stream();
 
-  FrontStorage storage(dev, sym, mode);
+  FrontStorage storage(dev, sym, mode, level_prec_);
 
   // ---- one-time setup: owner maps and assembly lists -----------------
   const int n = a_perm.rows();
@@ -346,16 +451,21 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
 
   // ---- reusable per-group kernels --------------------------------------
   // Zero + assemble-from-A the given fronts (their storage must be live).
-  auto assemble = [&](const std::vector<int>& ids) {
+  // Templated on the level's front element type: FP32 levels assemble the
+  // (double) matrix values into float fronts — the first charged
+  // demotion of the mixed-precision pipeline. A call's fronts all share
+  // one level (kBatched/kLegacy iterate per level; kLooped passes single
+  // fronts), so the wrapper picks the type from the first id.
+  auto assemble_t = [&]<typename T>(const std::vector<int>& ids) {
     if (ids.empty()) return;
     IRRLU_TRACE_SCOPE(dev.tracer(), "assemble");
     struct Meta {
-      double* base;
+      T* base;
       int dim, a0, a1;
     };
     auto metas = std::make_shared<std::vector<Meta>>();
     for (int id : ids)
-      metas->push_back({storage.base(id),
+      metas->push_back({storage.base<T>(id),
                         sym.fronts[static_cast<std::size_t>(id)].dim(),
                         asm_start[static_cast<std::size_t>(id)],
                         asm_start[static_cast<std::size_t>(id) + 1]});
@@ -368,22 +478,37 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
       const int ld = m.dim > 0 ? m.dim : 1;
       std::fill(m.base, m.base + static_cast<std::size_t>(m.dim) * m.dim,
-                0.0);
+                T{});
       for (int e = m.a0; e < m.a1; ++e)
         m.base[static_cast<std::ptrdiff_t>(acols[e]) * ld + arows[e]] +=
-            aval[aidx[e]];
-      ctx.record(0.0, (static_cast<double>(m.dim) * m.dim +
-                       3.0 * (m.a1 - m.a0)) *
-                          sizeof(double));
+            static_cast<T>(aval[aidx[e]]);
+      // Front traffic in the front's element width; the gather side reads
+      // the double-precision value array regardless.
+      ctx.record(0.0, static_cast<double>(m.dim) * m.dim * sizeof(T) +
+                          3.0 * (m.a1 - m.a0) * sizeof(double));
     });
+  };
+  auto assemble = [&](const std::vector<int>& ids) {
+    if (ids.empty()) return;
+    const auto lvl = static_cast<std::size_t>(
+        sym.fronts[static_cast<std::size_t>(ids[0])].level);
+    if (level_prec_[lvl] == Precision::kF32)
+      assemble_t.template operator()<float>(ids);
+    else
+      assemble_t.template operator()<double>(ids);
   };
 
   // Extend-add: absorb the children's Schur complements into the given
-  // (parent) fronts. Child storage must still be live.
-  auto gather_children = [&](const std::vector<int>& ids) {
+  // (parent) fronts. Child storage must still be live. Templated on the
+  // (parent, child) element types: symbolic analysis pins every child of
+  // a level-L front to level L+1, so one call has exactly one type pair —
+  // mixed-precision boundaries convert inside the accumulate (the update
+  // crosses the precision seam here, charged at the actual widths).
+  auto gather_children_t = [&]<typename Tp, typename Tc>(
+                               const std::vector<int>& ids) {
     struct Meta {
-      const double* child;
-      double* parent;
+      const Tc* child;
+      Tp* parent;
       int u, ldc, ldp, map_off;
     };
     auto metas = std::make_shared<std::vector<Meta>>();
@@ -393,9 +518,9 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         const Front& c = sym.fronts[static_cast<std::size_t>(child)];
         if (c.u() == 0) continue;
         metas->push_back(
-            {storage.base(child) +
+            {storage.base<Tc>(child) +
                  static_cast<std::ptrdiff_t>(c.s()) * c.dim() + c.s(),
-             storage.base(id), c.u(), c.dim(), p.dim() > 0 ? p.dim() : 1,
+             storage.base<Tp>(id), c.u(), c.dim(), p.dim() > 0 ? p.dim() : 1,
              scat_start[static_cast<std::size_t>(child)]});
       }
     }
@@ -409,27 +534,53 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       for (int c = 0; c < m.u; ++c)
         for (int r = 0; r < m.u; ++r)
           m.parent[static_cast<std::ptrdiff_t>(map[c]) * m.ldp + map[r]] +=
-              m.child[static_cast<std::ptrdiff_t>(c) * m.ldc + r];
-      // Scattered writes: penalized traffic on the parent side.
+              static_cast<Tp>(
+                  m.child[static_cast<std::ptrdiff_t>(c) * m.ldc + r]);
+      // Scattered writes: penalized traffic on the parent side (4 parent
+      // accesses per element at the parent width, 1 child read at the
+      // child width).
       ctx.record(static_cast<double>(m.u) * m.u,
-                 5.0 * m.u * m.u * sizeof(double));
+                 (4.0 * sizeof(Tp) + sizeof(Tc)) * m.u * m.u);
     });
   };
+  auto gather_children = [&](const std::vector<int>& ids) {
+    if (ids.empty()) return;
+    const auto plvl = static_cast<std::size_t>(
+        sym.fronts[static_cast<std::size_t>(ids[0])].level);
+    const Precision pp = level_prec_[plvl];
+    const Precision cp =
+        plvl + 1 < level_prec_.size() ? level_prec_[plvl + 1] : pp;
+    if (pp == Precision::kF32) {
+      if (cp == Precision::kF32)
+        gather_children_t.template operator()<float, float>(ids);
+      else
+        gather_children_t.template operator()<float, double>(ids);
+    } else {
+      if (cp == Precision::kF32)
+        gather_children_t.template operator()<double, float>(ids);
+      else
+        gather_children_t.template operator()<double, double>(ids);
+    }
+  };
 
-  // Copy the factored blocks of the given fronts into the compact store.
-  auto extract_factors = [&](const std::vector<int>& ids) {
+  // Copy the factored blocks of the given fronts into the compact store —
+  // each front into the store matching its level's precision. kLooped
+  // extracts all levels in one call, so the wrapper splits by precision
+  // (pure-FP64 runs keep every front in the double list, in order).
+  auto extract_factors_t = [&]<typename T>(const std::vector<int>& ids,
+                                           T* store) {
     if (ids.empty()) return;
     struct Meta {
-      const double* base;
-      double* out;
+      const T* base;
+      T* out;
       int s, u, ld;
     };
     auto metas = std::make_shared<std::vector<Meta>>();
     for (int id : ids) {
       const Front& fr = sym.fronts[static_cast<std::size_t>(id)];
       if (fr.s() == 0) continue;
-      metas->push_back({storage.base(id),
-                        factor_store_.data() +
+      metas->push_back({storage.base<T>(id),
+                        store +
                             fstore_offset_[static_cast<std::size_t>(id)],
                         fr.s(), fr.u(), fr.dim()});
     }
@@ -439,7 +590,7 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
                {"mf_extract", static_cast<int>(metas->size()), 0},
                [metas](gpusim::BlockCtx& ctx) {
       const Meta& m = (*metas)[static_cast<std::size_t>(ctx.block())];
-      double* out = m.out;
+      T* out = m.out;
       // L11\U11: s x s, ld s.
       for (int c = 0; c < m.s; ++c)
         for (int r = 0; r < m.s; ++r)
@@ -456,8 +607,21 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
               m.base[static_cast<std::ptrdiff_t>(c) * m.ld + m.s + r];
       const double elems =
           static_cast<double>(m.s) * (m.s + 2.0 * m.u);
-      ctx.record(0.0, 2.0 * elems * sizeof(double));
+      ctx.record(0.0, 2.0 * elems * sizeof(T));
     });
+  };
+  auto extract_factors = [&](const std::vector<int>& ids) {
+    if (ids.empty()) return;
+    std::vector<int> dids, fids;
+    for (int id : ids) {
+      const auto lvl = static_cast<std::size_t>(
+          sym.fronts[static_cast<std::size_t>(id)].level);
+      (level_prec_[lvl] == Precision::kF32 ? fids : dids).push_back(id);
+    }
+    extract_factors_t.template operator()<double>(dids,
+                                                  factor_store_.data());
+    extract_factors_t.template operator()<float>(fids,
+                                                 factor_store_f_.data());
   };
 
   // ---- factorization workspaces (allocated once: fully async driver) --
@@ -507,10 +671,12 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
 
   // Max-magnitude entry of each front's full (dim x dim) block, written to
   // `out` — before factorization it is the per-front boost reference
-  // ||F||_max, after it the numerator of the growth estimate.
-  auto front_absmax = [&](const FrontGroup& g, gpusim::Stream& st,
-                          double* out, const char* name) {
-    double* const* fp = g.f.data();
+  // ||F||_max, after it the numerator of the growth estimate. The
+  // extremum itself stays double for every front precision (it feeds the
+  // boost rule and the growth report).
+  auto front_absmax = [&]<typename T>(const FrontGroup& g, T* const* fp,
+                                      gpusim::Stream& st, double* out,
+                                      const char* name) {
     const int* ldp = g.ld.data();
     const int* sp = g.svec.data();
     const int* up = g.uvec.data();
@@ -518,62 +684,104 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       const int k = ctx.block();
       const int d = sp[k] + up[k];
       if (d <= 0) return;
-      const double* F = fp[k];
+      const T* F = fp[k];
       const int ld = ldp[k];
       double m = 0;
       for (int c = 0; c < d; ++c)
         for (int r = 0; r < d; ++r)
-          m = std::max(m, std::abs(F[static_cast<std::ptrdiff_t>(c) * ld +
-                                     r]));
+          m = std::max(m, std::abs(static_cast<double>(
+                              F[static_cast<std::ptrdiff_t>(c) * ld + r])));
       out[k] = m;
-      ctx.record(0.0, static_cast<double>(d) * d * sizeof(double));
+      ctx.record(0.0, static_cast<double>(d) * d * sizeof(T));
     });
   };
 
   // Factors one group of fronts as a single irregular batch on the given
-  // stream.
+  // stream, in the group's precision: the FP32 instantiations run the
+  // same pivoting/boost/blocking decisions on float lanes at double flop
+  // rate (la::flop_weight) and half the traffic.
+  auto factor_group_t = [&]<typename T>(const FrontGroup& g, T* const* gf,
+                                        T* const* gf12, T* const* gf21,
+                                        T* const* gf22,
+                                        gpusim::Stream& stream,
+                                        const batch::IrrLuOptions& lu_opts) {
+    batch::IrrLuOptions lu = lu_opts;
+    if constexpr (std::is_same_v<T, float>) {
+      // FP32 panels run twice as wide (DESIGN.md §14): a 2*nb single-
+      // precision panel has the byte footprint — shared-memory, cache-line
+      // and laswp-traffic-wise — of the FP64 nb panel, and the doubled
+      // width halves the blocked loop's launch count, which is what bounds
+      // small-front batches. The preallocated laswp workspace is sized for
+      // the FP64 nb; passing null lets irr_getrf draw a matching wider one
+      // from the device's per-stream workspace cache.
+      lu.nb = 2 * std::max(1, lu.nb);
+      lu.laswp_workspace = nullptr;
+    }
+    if (opts.pivot_tau > 0) {
+      front_absmax.template operator()<T>(g, gf, stream, g.anorm.data(),
+                                          "mf_front_norm");
+      lu.boost.tau = opts.pivot_tau;
+      lu.boost.anorm_vec = g.anorm.data();
+      lu.boost.boost_vec = g.boost.data();
+    }
+    batch::irr_getrf<T>(dev, stream, g.smax, g.smax, gf,
+                        g.ld.data(), 0, 0, g.svec.data(), g.svec.data(),
+                        g.ipiv.data(), g.info.data(), g.count, lu);
+    if (g.umax > 0) {
+      // Pivot application to F12: the FP64 path keeps the strided
+      // reference kernel — its cost schedule is pinned by the
+      // pre-mixed-precision baseline (fig10 bit/cost-identity). The FP32
+      // fronts are new with DESIGN.md §14 and take the rehearsed staged
+      // variant, which compresses the swap chain so each touched row
+      // moves once through shared-memory chunks.
+      if constexpr (std::is_same_v<T, float>)
+        batch::irr_laswp_range_staged<T>(
+            dev, stream, 0, g.smax, g.umax, gf12, g.ld.data(), 0,
+            g.svec.data(), g.uvec.data(),
+            const_cast<int const* const*>(g.ipiv.data()), g.count);
+      else
+        batch::irr_laswp_range<T>(
+            dev, stream, 0, g.smax, g.umax, gf12, g.ld.data(), 0,
+            g.svec.data(), g.uvec.data(),
+            const_cast<int const* const*>(g.ipiv.data()), g.count);
+      batch::irr_trsm<T>(
+          dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::No,
+          la::Diag::Unit, g.smax, g.umax, T(1),
+          const_cast<T const* const*>(gf), g.ld.data(), 0, 0,
+          gf12, g.ld.data(), 0, 0, g.svec.data(), g.uvec.data(),
+          g.count);
+      batch::irr_trsm<T>(
+          dev, stream, la::Side::Right, la::Uplo::Upper, la::Trans::No,
+          la::Diag::NonUnit, g.umax, g.smax, T(1),
+          const_cast<T const* const*>(gf), g.ld.data(), 0, 0,
+          gf21, g.ld.data(), 0, 0, g.uvec.data(), g.svec.data(),
+          g.count);
+      batch::irr_gemm<T>(
+          dev, stream, la::Trans::No, la::Trans::No, g.umax, g.umax, g.smax,
+          T(-1), const_cast<T const* const*>(gf21), g.ld.data(),
+          0, 0, const_cast<T const* const*>(gf12), g.ld.data(),
+          0, 0, T(1), gf22, g.ld.data(), 0, 0, g.uvec.data(),
+          g.uvec.data(), g.svec.data(), g.count);
+    }
+    // Post-elimination extremum: gmax / anorm is the per-front growth.
+    if (opts.pivot_tau > 0)
+      front_absmax.template operator()<T>(g, gf, stream, g.gmax.data(),
+                                          "mf_front_growth");
+  };
+
   auto factor_group_on = [&](const FrontGroup& g, gpusim::Stream& stream,
                              const batch::IrrLuOptions& lu_opts) {
     if (g.count == 0 || g.smax == 0) return;
     IRRLU_TRACE_SCOPE(dev.tracer(),
                       dev.tracer() ? front_class(g.ids, sym) : "");
-    batch::IrrLuOptions lu = lu_opts;
-    if (opts.pivot_tau > 0) {
-      front_absmax(g, stream, g.anorm.data(), "mf_front_norm");
-      lu.boost.tau = opts.pivot_tau;
-      lu.boost.anorm_vec = g.anorm.data();
-      lu.boost.boost_vec = g.boost.data();
-    }
-    batch::irr_getrf<double>(dev, stream, g.smax, g.smax, g.f.data(),
-                             g.ld.data(), 0, 0, g.svec.data(), g.svec.data(),
-                             g.ipiv.data(), g.info.data(), g.count, lu);
-    if (g.umax > 0) {
-      batch::irr_laswp_range<double>(
-          dev, stream, 0, g.smax, g.umax, g.f12.data(), g.ld.data(), 0,
-          g.svec.data(), g.uvec.data(),
-          const_cast<int const* const*>(g.ipiv.data()), g.count);
-      batch::irr_trsm<double>(
-          dev, stream, la::Side::Left, la::Uplo::Lower, la::Trans::No,
-          la::Diag::Unit, g.smax, g.umax, 1.0,
-          const_cast<double const* const*>(g.f.data()), g.ld.data(), 0, 0,
-          g.f12.data(), g.ld.data(), 0, 0, g.svec.data(), g.uvec.data(),
-          g.count);
-      batch::irr_trsm<double>(
-          dev, stream, la::Side::Right, la::Uplo::Upper, la::Trans::No,
-          la::Diag::NonUnit, g.umax, g.smax, 1.0,
-          const_cast<double const* const*>(g.f.data()), g.ld.data(), 0, 0,
-          g.f21.data(), g.ld.data(), 0, 0, g.uvec.data(), g.svec.data(),
-          g.count);
-      batch::irr_gemm<double>(
-          dev, stream, la::Trans::No, la::Trans::No, g.umax, g.umax, g.smax,
-          -1.0, const_cast<double const* const*>(g.f21.data()), g.ld.data(),
-          0, 0, const_cast<double const* const*>(g.f12.data()), g.ld.data(),
-          0, 0, 1.0, g.f22.data(), g.ld.data(), 0, 0, g.uvec.data(),
-          g.uvec.data(), g.svec.data(), g.count);
-    }
-    // Post-elimination extremum: gmax / anorm is the per-front growth.
-    if (opts.pivot_tau > 0)
-      front_absmax(g, stream, g.gmax.data(), "mf_front_growth");
+    if (g.prec == Precision::kF32)
+      factor_group_t.template operator()<float>(
+          g, g.ff.data(), g.ff12.data(), g.ff21.data(), g.ff22.data(),
+          stream, lu_opts);
+    else
+      factor_group_t.template operator()<double>(
+          g, g.f.data(), g.f12.data(), g.f21.data(), g.f22.data(), stream,
+          lu_opts);
   };
 
   auto factor_group = [&](const FrontGroup& g) {
@@ -581,8 +789,13 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   };
 
   auto make_group = [&](const std::vector<int>& ids) -> FrontGroup& {
+    const Precision gp =
+        ids.empty()
+            ? Precision::kF64
+            : level_prec_[static_cast<std::size_t>(
+                  sym.fronts[static_cast<std::size_t>(ids[0])].level)];
     groups.push_back(std::make_unique<FrontGroup>(
-        dev, sym, ids, storage, ipiv_offset_, ipiv_storage_.data()));
+        dev, sym, ids, storage, ipiv_offset_, ipiv_storage_.data(), gp));
     return *groups.back();
   };
 
@@ -593,13 +806,14 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
   // vectorizing across the batch index. Per-lane operation sequences
   // replicate the strided kernels exactly, so the unpacked factors are
   // bit-identical to the strided schedule's.
-  auto factor_level_ilv = [&](const std::map<std::pair<int, int>,
-                                             std::vector<int>>& buckets) {
+  auto factor_level_ilv_t = [&]<typename T>(
+                                const std::map<std::pair<int, int>,
+                                               std::vector<int>>& buckets) {
     struct Slab {
       int s = 0, u = 0, d = 0;
       int count = 0;  ///< lanes (fronts) in this class
       int base = 0;   ///< offset of the class within the level group
-      batch::IlvView view{nullptr, 1, 0};
+      batch::IlvViewT<T> view{nullptr, 1, 0};
     };
     std::vector<Slab> slabs;
     std::size_t total = 0;
@@ -627,11 +841,20 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     // class (device allocations carry simulated cost; a deep tree has many
     // single-front classes).
     FrontGroup& g = make_group(routed_ids);
-    double* const ws =
-        dev.workspace<double>("mf.ilv.pack", std::max<std::size_t>(total, 1));
+    // Distinct workspace slabs per element type, so a mixed-policy tree
+    // never aliases float lanes over double ones.
+    T* const ws = dev.workspace<T>(
+        std::is_same_v<T, float> ? "mf.ilv.packf" : "mf.ilv.pack",
+        std::max<std::size_t>(total, 1));
+    T* const* const gsrc = [&] {
+      if constexpr (std::is_same_v<T, float>)
+        return g.ff.data();
+      else
+        return g.f.data();
+    }();
     std::size_t off = 0;
     for (auto& sl : slabs) {
-      sl.view = batch::IlvView{ws + off, sl.d > 0 ? sl.d : 1, sl.count};
+      sl.view = batch::IlvViewT<T>{ws + off, sl.d > 0 ? sl.d : 1, sl.count};
       off += static_cast<std::size_t>(sl.d) * sl.d *
              static_cast<std::size_t>(sl.count);
     }
@@ -639,26 +862,27 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
     // smax == 0 -> no diagnostics), applied to the routed collection.
     const bool norms = opts.pivot_tau > 0 && smax_routed > 0;
     {
-      std::vector<batch::IlvPackDesc> descs;
+      std::vector<batch::IlvPackDescT<T>> descs;
       for (auto& sl : slabs) {
-        batch::IlvPackDesc d;
+        batch::IlvPackDescT<T> d;
         d.dst = sl.view;
         d.m = sl.d;
         d.n = sl.d;
         d.lanes = sl.count;
-        d.src = g.f.data() + sl.base;
+        d.src = gsrc + sl.base;
         d.src_ld = g.ld.data() + sl.base;
         d.absmax = norms ? g.anorm.data() + sl.base : nullptr;
         descs.push_back(d);
       }
-      batch::ilv_pack(dev, stream, std::move(descs));
+      batch::ilv_pack<T>(dev, stream, std::move(descs));
     }
     {
       std::vector<batch::IlvOpDesc> descs;
       for (auto& sl : slabs) {
         if (sl.s <= 0) continue;
         batch::IlvOpDesc d;
-        d.kern = disp.resolve(batch::getf2_key(sl.s, sl.s));
+        d.kern = disp.resolve(
+            batch::getf2_key(sl.s, sl.s, batch::kMicroPrecOf<T>));
         d.args.batch = sl.view.batch;
         d.args.c = sl.view.data;
         d.args.ldc = sl.view.ld;
@@ -668,18 +892,18 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         d.args.anorm = norms ? g.anorm.data() + sl.base : nullptr;
         d.args.boost = norms ? g.boost.data() + sl.base : nullptr;
         d.lanes = sl.count;
-        d.flops_per_lane = la::getrf_flops(sl.s, sl.s);
-        d.bytes_per_lane = 2.0 * sl.s * sl.s * sizeof(double) +
+        d.flops_per_lane = la::getrf_flops(sl.s, sl.s) * la::flop_weight<T>;
+        d.bytes_per_lane = 2.0 * sl.s * sl.s * sizeof(T) +
                            static_cast<double>(sl.s) * sizeof(int);
         descs.push_back(d);
       }
       batch::ilv_launch(dev, stream, "ilv_getf2", std::move(descs));
     }
     {
-      std::vector<batch::IlvLaswpDesc> descs;
+      std::vector<batch::IlvLaswpDescT<T>> descs;
       for (auto& sl : slabs) {
         if (sl.s <= 0 || sl.u <= 0) continue;
-        batch::IlvLaswpDesc d;
+        batch::IlvLaswpDescT<T> d;
         d.view = sl.view.subview(0, sl.s);
         d.rows = sl.s;
         d.width = sl.u;
@@ -687,15 +911,15 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         d.ipiv = g.ipiv.data() + sl.base;
         descs.push_back(d);
       }
-      batch::ilv_laswp(dev, stream, std::move(descs));
+      batch::ilv_laswp<T>(dev, stream, std::move(descs));
     }
     {
       std::vector<batch::IlvOpDesc> descs;
       for (auto& sl : slabs) {
         if (sl.s <= 0 || sl.u <= 0) continue;
         batch::IlvOpDesc d;
-        d.kern =
-            disp.resolve(batch::trsm_key(true, true, true, sl.s, sl.u));
+        d.kern = disp.resolve(batch::trsm_key(true, true, true, sl.s, sl.u,
+                                              batch::kMicroPrecOf<T>));
         d.args.batch = sl.view.batch;
         d.args.alpha = 1.0;
         d.args.a = sl.view.data;
@@ -703,9 +927,9 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         d.args.c = sl.view.sub(0, sl.s);
         d.args.ldc = sl.view.ld;
         d.lanes = sl.count;
-        d.flops_per_lane = la::trsm_flops(sl.s, sl.u);
+        d.flops_per_lane = la::trsm_flops(sl.s, sl.u) * la::flop_weight<T>;
         d.bytes_per_lane = (0.5 * sl.s * sl.s + 2.0 * sl.s * sl.u) *
-                           sizeof(double);
+                           sizeof(T);
         descs.push_back(d);
       }
       batch::ilv_launch(dev, stream, "ilv_trsm_l", std::move(descs));
@@ -715,8 +939,8 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       for (auto& sl : slabs) {
         if (sl.s <= 0 || sl.u <= 0) continue;
         batch::IlvOpDesc d;
-        d.kern =
-            disp.resolve(batch::trsm_key(false, false, false, sl.u, sl.s));
+        d.kern = disp.resolve(batch::trsm_key(false, false, false, sl.u,
+                                              sl.s, batch::kMicroPrecOf<T>));
         d.args.batch = sl.view.batch;
         d.args.alpha = 1.0;
         d.args.a = sl.view.data;
@@ -724,9 +948,9 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         d.args.c = sl.view.sub(sl.s, 0);
         d.args.ldc = sl.view.ld;
         d.lanes = sl.count;
-        d.flops_per_lane = la::trsm_flops(sl.s, sl.u);
+        d.flops_per_lane = la::trsm_flops(sl.s, sl.u) * la::flop_weight<T>;
         d.bytes_per_lane = (0.5 * sl.s * sl.s + 2.0 * sl.s * sl.u) *
-                           sizeof(double);
+                           sizeof(T);
         descs.push_back(d);
       }
       batch::ilv_launch(dev, stream, "ilv_trsm_r", std::move(descs));
@@ -736,7 +960,8 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
       for (auto& sl : slabs) {
         if (sl.s <= 0 || sl.u <= 0) continue;
         batch::IlvOpDesc d;
-        d.kern = disp.resolve(batch::gemm_key(sl.u, sl.u, sl.s));
+        d.kern = disp.resolve(
+            batch::gemm_key(sl.u, sl.u, sl.s, batch::kMicroPrecOf<T>));
         d.args.batch = sl.view.batch;
         d.args.alpha = -1.0;
         d.args.beta = 1.0;
@@ -747,28 +972,37 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         d.args.c = sl.view.sub(sl.s, sl.s);
         d.args.ldc = sl.view.ld;
         d.lanes = sl.count;
-        d.flops_per_lane = la::gemm_flops(sl.u, sl.u, sl.s);
+        d.flops_per_lane =
+            la::gemm_flops(sl.u, sl.u, sl.s) * la::flop_weight<T>;
         d.bytes_per_lane =
-            (2.0 * sl.u * sl.s + 2.0 * sl.u * sl.u) * sizeof(double);
+            (2.0 * sl.u * sl.s + 2.0 * sl.u * sl.u) * sizeof(T);
         descs.push_back(d);
       }
       batch::ilv_launch(dev, stream, "ilv_schur", std::move(descs));
     }
     {
-      std::vector<batch::IlvPackDesc> descs;
+      std::vector<batch::IlvPackDescT<T>> descs;
       for (auto& sl : slabs) {
-        batch::IlvPackDesc d;
+        batch::IlvPackDescT<T> d;
         d.dst = sl.view;
         d.m = sl.d;
         d.n = sl.d;
         d.lanes = sl.count;
-        d.src = g.f.data() + sl.base;
+        d.src = gsrc + sl.base;
         d.src_ld = g.ld.data() + sl.base;
         d.absmax = norms ? g.gmax.data() + sl.base : nullptr;
         descs.push_back(d);
       }
-      batch::ilv_unpack(dev, stream, std::move(descs));
+      batch::ilv_unpack<T>(dev, stream, std::move(descs));
     }
+  };
+  auto factor_level_ilv = [&](const std::map<std::pair<int, int>,
+                                             std::vector<int>>& buckets,
+                              Precision prec) {
+    if (prec == Precision::kF32)
+      factor_level_ilv_t.template operator()<float>(buckets);
+    else
+      factor_level_ilv_t.template operator()<double>(buckets);
   };
 
   // ---- the schedules ---------------------------------------------------
@@ -809,7 +1043,8 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
               else
                 strided_ids.push_back(id);
             }
-            factor_level_ilv(buckets);
+            factor_level_ilv(buckets,
+                             level_prec_[static_cast<std::size_t>(lvl)]);
             if (!strided_ids.empty()) factor_group(make_group(strided_ids));
           } else if (!small_ids.empty()) {
             factor_group(make_group(small_ids));
@@ -925,8 +1160,14 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
         report_.pivot_growth =
             std::max(report_.pivot_growth, g->gmax[ks] / g->anorm[ks]);
     }
+  report_.precision_policy = opts.precision;
+  report_.level_precision = level_prec_;
+  for (std::size_t fi = 0; fi < nf; ++fi)
+    if (level_prec_[static_cast<std::size_t>(sym.fronts[fi].level)] ==
+        Precision::kF32)
+      ++report_.fp32_fronts;
   report_.measured_peak_bytes = peak_bytes_;
-  report_.predicted_peak_bytes = sym.predicted_peak_bytes(mode);
+  report_.predicted_peak_bytes = sym.predicted_peak_bytes(mode, level_prec_);
   {
     const batch::KernelCache::Stats& ds = kcache->stats();
     report_.dispatch_hits = ds.hits - dstats0.hits;
@@ -945,6 +1186,28 @@ MultifrontalFactor::MultifrontalFactor(gpusim::Device& dev,
                     static_cast<double>(report_.predicted_peak_bytes));
     tr->max_counter("memory.measured_peak_bytes",
                     static_cast<double>(report_.measured_peak_bytes));
+    // Precision counters only when the policy actually produced FP32
+    // fronts, so default-policy traces (and fig10) are unchanged.
+    if (report_.fp32_fronts > 0) {
+      tr->add_counter("factor.fp32_fronts",
+                      static_cast<double>(report_.fp32_fronts));
+      tr->add_counter("factor.fp64_fronts",
+                      static_cast<double>(report_.fronts -
+                                          report_.fp32_fronts));
+      // Per-level precision (value = mantissa width class, 32 or 64;
+      // index 0 = root) so the summary JSON records exactly which levels
+      // the policy kept double — the counter mirror of
+      // FactorReport::level_precision.
+      char lvl_name[64];
+      for (std::size_t l = 0; l < report_.level_precision.size(); ++l) {
+        std::snprintf(lvl_name, sizeof lvl_name,
+                      "factor.level_precision.L%03zu", l);
+        tr->max_counter(lvl_name,
+                        report_.level_precision[l] == Precision::kF32
+                            ? 32.0
+                            : 64.0);
+      }
+    }
     if (use_ilv) {
       tr->add_counter("dispatch.hits",
                       static_cast<double>(report_.dispatch_hits));
@@ -989,13 +1252,56 @@ void MultifrontalFactor::solve_batched(std::vector<double>& x) const {
     int s, u, sep_begin;
   };
 
+  // FP32 levels are promoted into per-call double buffers by a charged
+  // mf_promote launch before the triangular kernels touch them; FP64
+  // levels point straight into the factor store (the pre-precision path).
+  std::vector<gpusim::DeviceBuffer<double>> promoted;
+
   auto level_metas = [&](int lvl, bool forward) {
     auto metas = std::make_shared<std::vector<Meta>>();
+    const bool f32 =
+        level_prec_[static_cast<std::size_t>(lvl)] == Precision::kF32;
+    double* pbase = nullptr;
+    if (f32) {
+      std::size_t total = 0;
+      for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+        const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+        if (fr.s() == 0) continue;
+        total += static_cast<std::size_t>(fr.s()) * fr.s() +
+                 2 * static_cast<std::size_t>(fr.s()) * fr.u();
+      }
+      promoted.push_back(dev_.alloc<double>(std::max<std::size_t>(total, 1)));
+      pbase = promoted.back().data();
+      std::vector<PromoteMeta> pm;
+      std::size_t off = 0;
+      for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+        const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+        if (fr.s() == 0) continue;
+        const std::size_t elems =
+            static_cast<std::size_t>(fr.s()) * fr.s() +
+            2 * static_cast<std::size_t>(fr.s()) * fr.u();
+        pm.push_back({f11f(id), pbase + off, elems});
+        off += elems;
+      }
+      promote_fp32(dev_, stream, std::move(pm));
+    }
+    std::size_t poff = 0;
     for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
       const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
       if (fr.s() == 0) continue;
-      metas->push_back({f11(id), forward ? l21(id) : u12(id),
-                        front_ipiv(id),
+      const double* F11;
+      const double* OFF;
+      if (f32) {
+        const auto ss = static_cast<std::size_t>(fr.s()) * fr.s();
+        const auto su = static_cast<std::size_t>(fr.s()) * fr.u();
+        F11 = pbase + poff;
+        OFF = forward ? pbase + poff + ss + su : pbase + poff + ss;
+        poff += ss + 2 * su;
+      } else {
+        F11 = f11(id);
+        OFF = forward ? l21(id) : u12(id);
+      }
+      metas->push_back({F11, OFF, front_ipiv(id),
                         upd_storage_.data() +
                             upd_offset_[static_cast<std::size_t>(id)],
                         fr.s(), fr.u(), fr.sep_begin});
@@ -1110,6 +1416,7 @@ void MultifrontalFactor::solve_many(double* x, int nrhs) const {
     int max_s = 0, max_u = 0;
     std::shared_ptr<std::vector<Meta>> metas;
     gpusim::DeviceBuffer<double> stage;
+    gpusim::DeviceBuffer<double> promoted;  ///< FP64 view of an FP32 level
     gpusim::DeviceBuffer<int> pgather;  ///< concatenated pivot orders
     gpusim::DeviceBuffer<const double*> f11_p, l21_p, u12_p;
     gpusim::DeviceBuffer<double*> top_p, bot_p;
@@ -1134,6 +1441,34 @@ void MultifrontalFactor::solve_many(double* x, int nrhs) const {
     }
     if (L.bs == 0) continue;
     const auto bsz = static_cast<std::size_t>(L.bs);
+    const bool f32 =
+        level_prec_[static_cast<std::size_t>(lvl)] == Precision::kF32;
+    double* pbase = nullptr;
+    if (f32) {
+      // One promotion per level per call: both sweeps read the same
+      // FP64 view.
+      std::size_t total = 0;
+      for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+        const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+        if (fr.s() == 0) continue;
+        total += static_cast<std::size_t>(fr.s()) * fr.s() +
+                 2 * static_cast<std::size_t>(fr.s()) * fr.u();
+      }
+      L.promoted = dev_.alloc<double>(std::max<std::size_t>(total, 1));
+      pbase = L.promoted.data();
+      std::vector<PromoteMeta> pm;
+      std::size_t off = 0;
+      for (int id : sym_.levels[static_cast<std::size_t>(lvl)]) {
+        const Front& fr = sym_.fronts[static_cast<std::size_t>(id)];
+        if (fr.s() == 0) continue;
+        const std::size_t elems =
+            static_cast<std::size_t>(fr.s()) * fr.s() +
+            2 * static_cast<std::size_t>(fr.s()) * fr.u();
+        pm.push_back({f11f(id), pbase + off, elems});
+        off += elems;
+      }
+      promote_fp32(dev_, stream, std::move(pm));
+    }
     L.stage = dev_.alloc<double>(stage_elems);
     L.pgather = dev_.alloc<int>(pg_total);
     L.f11_p = dev_.alloc<const double*>(bsz);
@@ -1165,9 +1500,18 @@ void MultifrontalFactor::solve_many(double* x, int nrhs) const {
       const int* piv = front_ipiv(id);
       for (int r = 0; r < s; ++r)
         if (piv[r] != r) std::swap(pg[r], pg[piv[r]]);
-      L.f11_p[i] = f11(id);
-      L.l21_p[i] = l21(id);
-      L.u12_p[i] = u12(id);
+      if (f32) {
+        const auto ss = static_cast<std::size_t>(s) * s;
+        const auto su = static_cast<std::size_t>(s) * u;
+        L.f11_p[i] = pbase;
+        L.u12_p[i] = pbase + ss;
+        L.l21_p[i] = pbase + ss + su;
+        pbase += ss + 2 * su;
+      } else {
+        L.f11_p[i] = f11(id);
+        L.l21_p[i] = l21(id);
+        L.u12_p[i] = u12(id);
+      }
       L.top_p[i] = st;
       L.bot_p[i] = st + s;
       L.f11_ld[i] = s;
@@ -1286,16 +1630,32 @@ void MultifrontalFactor::solve_many(double* x, int nrhs) const {
   std::copy(dx.data(), dx.data() + xelems, x);
 }
 
+MultifrontalFactor::HostBlocks MultifrontalFactor::host_blocks(
+    int f, std::vector<double>& scratch) const {
+  const Front& fr = sym_.fronts[static_cast<std::size_t>(f)];
+  const auto s = static_cast<std::size_t>(fr.s());
+  const auto u = static_cast<std::size_t>(fr.u());
+  if (front_prec(f) != Precision::kF32) return {f11(f), u12(f), l21(f)};
+  const std::size_t elems = s * s + 2 * s * u;
+  if (scratch.size() < elems) scratch.resize(elems);
+  const float* src = f11f(f);
+  for (std::size_t i = 0; i < elems; ++i)
+    scratch[i] = static_cast<double>(src[i]);
+  const double* base = scratch.data();
+  return {base, base + s * s, base + s * s + s * u};
+}
+
 void MultifrontalFactor::solve(std::vector<double>& x) const {
   const auto nf = sym_.fronts.size();
-  std::vector<double> xs, xu;
+  std::vector<double> xs, xu, fbuf;
   // Forward sweep (children before parents — the fronts are in postorder).
   for (std::size_t fi = 0; fi < nf; ++fi) {
     const Front& fr = sym_.fronts[fi];
     const int s = fr.s(), u = fr.u();
     if (s == 0) continue;
-    const double* F11 = f11(static_cast<int>(fi));
-    const double* L21 = l21(static_cast<int>(fi));
+    const HostBlocks hb = host_blocks(static_cast<int>(fi), fbuf);
+    const double* F11 = hb.f11;
+    const double* L21 = hb.l21;
     xs.assign(static_cast<std::size_t>(s), 0.0);
     for (int r = 0; r < s; ++r)
       xs[static_cast<std::size_t>(r)] =
@@ -1323,8 +1683,9 @@ void MultifrontalFactor::solve(std::vector<double>& x) const {
     const Front& fr = sym_.fronts[fi];
     const int s = fr.s(), u = fr.u();
     if (s == 0) continue;
-    const double* F11 = f11(static_cast<int>(fi));
-    const double* U12 = u12(static_cast<int>(fi));
+    const HostBlocks hb = host_blocks(static_cast<int>(fi), fbuf);
+    const double* F11 = hb.f11;
+    const double* U12 = hb.u12;
     xs.assign(static_cast<std::size_t>(s), 0.0);
     for (int r = 0; r < s; ++r)
       xs[static_cast<std::size_t>(r)] =
@@ -1352,14 +1713,15 @@ void MultifrontalFactor::solve_transpose(std::vector<double>& x) const {
   // B_{N-1}^T ... B_0^T, so each sweep runs in the opposite tree order
   // with the transposed triangular blocks.
   const auto nf = sym_.fronts.size();
-  std::vector<double> xs, xu;
+  std::vector<double> xs, xu, fbuf;
   // B_i^T in postorder: xs <- U11^{-T} xs; x[upd] -= U12^T xs.
   for (std::size_t fi = 0; fi < nf; ++fi) {
     const Front& fr = sym_.fronts[fi];
     const int s = fr.s(), u = fr.u();
     if (s == 0) continue;
-    const double* F11 = f11(static_cast<int>(fi));
-    const double* U12 = u12(static_cast<int>(fi));
+    const HostBlocks hb = host_blocks(static_cast<int>(fi), fbuf);
+    const double* F11 = hb.f11;
+    const double* U12 = hb.u12;
     xs.assign(static_cast<std::size_t>(s), 0.0);
     for (int r = 0; r < s; ++r)
       xs[static_cast<std::size_t>(r)] =
@@ -1382,8 +1744,9 @@ void MultifrontalFactor::solve_transpose(std::vector<double>& x) const {
     const Front& fr = sym_.fronts[fi];
     const int s = fr.s(), u = fr.u();
     if (s == 0) continue;
-    const double* F11 = f11(static_cast<int>(fi));
-    const double* L21 = l21(static_cast<int>(fi));
+    const HostBlocks hb = host_blocks(static_cast<int>(fi), fbuf);
+    const double* F11 = hb.f11;
+    const double* L21 = hb.l21;
     xs.assign(static_cast<std::size_t>(s), 0.0);
     for (int r = 0; r < s; ++r)
       xs[static_cast<std::size_t>(r)] =

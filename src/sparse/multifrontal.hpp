@@ -22,6 +22,7 @@
 #include "gpusim/device.hpp"
 #include "irrblas/dispatch.hpp"
 #include "irrblas/irr_kernels.hpp"
+#include "sparse/precision.hpp"
 #include "sparse/symbolic.hpp"
 
 namespace irrlu::sparse {
@@ -81,6 +82,18 @@ struct FactorOptions {
   /// replayed resolutions skip even the cache's hash lookup. Requires
   /// dispatch_cache; the caller must begin_replay() per factorization.
   batch::DispatchPlan* dispatch_plan = nullptr;
+  /// Front-factorization precision policy (classic LU-IR, DESIGN.md §14):
+  /// kF64 factors every level in double — bit-identical to the
+  /// pre-precision code path; kF32 factors every level in single (half the
+  /// simulated flop time and half the front/factor bytes, FP64 accuracy
+  /// recovered by the solver's iterative refinement); kAdaptive keeps the
+  /// top adaptive_root_levels levels — the root path, where pivot growth
+  /// concentrates — in double and factors the deeper levels in single.
+  /// Precision is uniform within a level, so every engine's batch groups
+  /// stay single-precision-class.
+  PrecisionPolicy precision = PrecisionPolicy::kF64;
+  /// kAdaptive only: number of levels from the root (level 0) kept in FP64.
+  int adaptive_root_levels = 2;
 };
 
 /// Per-factorization numerical diagnostics (tentpole of the robustness
@@ -117,6 +130,12 @@ struct FactorReport {
     double seconds = 0;
   };
   std::vector<PathContributor> critical_path_top;
+  /// Precision policy this factorization ran under and the precision each
+  /// level actually used (index = level, level 0 = root). With the default
+  /// kF64 policy every entry is kF64 and fp32_fronts is 0.
+  PrecisionPolicy precision_policy = PrecisionPolicy::kF64;
+  std::vector<Precision> level_precision;
+  long fp32_fronts = 0;  ///< fronts factored in single precision
 };
 
 /// Owns the factored fronts (compact device storage) and performs solves.
@@ -191,9 +210,23 @@ class MultifrontalFactor {
   /// Raw compact factor storage (every front's L11\U11 | U12 | L21 blocks
   /// concatenated in postorder) — read-only, the bit-identity oracle the
   /// service tests and bench_service compare cached-refactor factors
-  /// against their uncached twins with.
+  /// against their uncached twins with. FP32-policy fronts live in the
+  /// single-precision store instead (factor_data_f32()).
   const double* factor_data() const { return factor_store_.data(); }
   std::size_t factor_elems() const { return factor_store_.size(); }
+  const float* factor_data_f32() const { return factor_store_f_.data(); }
+  std::size_t factor_elems_f32() const { return factor_store_f_.size(); }
+  /// Precision the given level's fronts were factored (and stored) in.
+  Precision level_prec(int lvl) const {
+    return level_prec_[static_cast<std::size_t>(lvl)];
+  }
+  /// True when any level was factored in single precision — the signal the
+  /// solver's FP64-refactor fallback keys on.
+  bool has_fp32() const {
+    for (Precision p : level_prec_)
+      if (p == Precision::kF32) return true;
+    return false;
+  }
 
   /// Hager/Higham 1-norm condition estimate of the factored (prepared)
   /// matrix: ||A_prep||_1 * est(||A_prep^{-1}||_1), the latter from a few
@@ -205,6 +238,8 @@ class MultifrontalFactor {
   gpusim::Device& dev_;
   const SymbolicAnalysis& sym_;
   gpusim::DeviceBuffer<double> factor_store_;
+  gpusim::DeviceBuffer<float> factor_store_f_;  ///< FP32 fronts' blocks
+  std::vector<Precision> level_prec_;  ///< per-level factor precision
   gpusim::DeviceBuffer<int> ipiv_storage_;
   gpusim::DeviceBuffer<int> upd_storage_;  ///< flattened update index lists
   std::vector<std::size_t> fstore_offset_;  ///< into factor_store_
@@ -222,7 +257,12 @@ class MultifrontalFactor {
   mutable double condest_ = -1.0;  ///< cached condest_1(), -1 = not yet
 
   // Compact factor blocks of front f: L11\U11 (s x s), then U12 (s x u,
-  // ld s), then L21 (u x s, ld u).
+  // ld s), then L21 (u x s, ld u). fstore_offset_[f] indexes into the
+  // store matching the front's level precision (double or float).
+  Precision front_prec(int f) const {
+    return level_prec_[static_cast<std::size_t>(
+        sym_.fronts[static_cast<std::size_t>(f)].level)];
+  }
   const double* f11(int f) const {
     return factor_store_.data() + fstore_offset_[static_cast<std::size_t>(f)];
   }
@@ -234,9 +274,24 @@ class MultifrontalFactor {
     const Front& fr = sym_.fronts[static_cast<std::size_t>(f)];
     return u12(f) + static_cast<std::size_t>(fr.s()) * fr.u();
   }
+  const float* f11f(int f) const {
+    return factor_store_f_.data() +
+           fstore_offset_[static_cast<std::size_t>(f)];
+  }
   int* front_ipiv(int f) const {
     return ipiv_storage_.data() + ipiv_offset_[static_cast<std::size_t>(f)];
   }
+
+  // Host-solve view of front f's factor blocks, always in double: FP64
+  // fronts return direct store pointers (bit-identical to the
+  // pre-precision path); FP32 fronts promote their contiguous block into
+  // `scratch` first (valid until the next call with the same scratch).
+  struct HostBlocks {
+    const double* f11;
+    const double* u12;
+    const double* l21;
+  };
+  HostBlocks host_blocks(int f, std::vector<double>& scratch) const;
 };
 
 }  // namespace irrlu::sparse

@@ -81,7 +81,7 @@ void SparseDirectSolver::analyze(const CsrMatrix& a) {
   analyzed_ = true;
 }
 
-FactorOptions SparseDirectSolver::factor_options() {
+FactorOptions SparseDirectSolver::factor_options() const {
   FactorOptions fo = opts_.factor;
   if (fo.dispatch_cache == nullptr) {
     fo.dispatch_cache = &kcache_;
@@ -93,10 +93,28 @@ FactorOptions SparseDirectSolver::factor_options() {
   return fo;
 }
 
-void SparseDirectSolver::factor(gpusim::Device& dev) {
-  IRRLU_CHECK_MSG(analyzed_, "factor() requires analyze()");
+void SparseDirectSolver::build_factor(gpusim::Device& dev) {
   factor_ = std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_,
                                                  factor_options());
+  // Factor-time escalation: pivot growth of this magnitude already wiped
+  // out FP32's relative accuracy, so refinement from the FP32 factors
+  // would fail anyway — refactor in FP64 up front instead of paying a
+  // doomed solve first. Growth is only measured when pivot_tau > 0.
+  if (opts_.fp64_fallback && factor_->has_fp32() &&
+      factor_->report().pivot_growth > opts_.growth_refactor_threshold)
+    refactor_fp64();
+}
+
+void SparseDirectSolver::refactor_fp64() const {
+  FactorOptions fo = factor_options();
+  fo.precision = PrecisionPolicy::kF64;
+  gpusim::Device& dev = factor_->device();
+  factor_ = std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_, fo);
+}
+
+void SparseDirectSolver::factor(gpusim::Device& dev) {
+  IRRLU_CHECK_MSG(analyzed_, "factor() requires analyze()");
+  build_factor(dev);
 }
 
 void SparseDirectSolver::refactor(gpusim::Device& dev,
@@ -108,11 +126,57 @@ void SparseDirectSolver::refactor(gpusim::Device& dev,
   const CsrMatrix aq =
       a_new.scaled(mc64_.dr, mc64_.dc).permute_columns(mc64_.col_of_row);
   a_prep_ = aq.permute_symmetric(ord_.perm);
-  factor_ = std::make_unique<MultifrontalFactor>(dev, a_prep_, sym_,
-                                                 factor_options());
+  build_factor(dev);
 }
 
+void SparseDirectSolver::observe_refine_steps(int steps) const {
+  trace::Tracer* tr = factor_->device().tracer();
+  if (tr == nullptr) return;
+  tr->observe(std::string("solve.refine_steps.") +
+                  to_string(factor_->report().precision_policy),
+              static_cast<double>(steps));
+}
+
+namespace {
+
+/// Fallback arbitration: is `a` a strictly better outcome than `b`?
+/// Status rank first (converged > degraded > failed), then backward error
+/// (NaN berr only occurs under kFailed, which the rank already handles).
+bool report_better(const SolveReport& a, const SolveReport& b) {
+  auto rank = [](SolveStatus s) {
+    switch (s) {
+      case SolveStatus::kConverged: return 2;
+      case SolveStatus::kDegraded: return 1;
+      case SolveStatus::kFailed: return 0;
+    }
+    return 0;
+  };
+  if (rank(a.status) != rank(b.status)) return rank(a.status) > rank(b.status);
+  return a.berr < b.berr;
+}
+
+}  // namespace
+
 SolveReport SparseDirectSolver::solve_report(
+    const std::vector<double>& b) const {
+  SolveReport rep = solve_report_impl(b);
+  observe_refine_steps(rep.refine_steps);
+  if (rep.status == SolveStatus::kConverged || !opts_.fp64_fallback ||
+      !factor_->has_fp32())
+    return rep;
+  // Classic LU-IR fallback: the FP32 factorization could not deliver the
+  // tolerance — refactor the same prepared matrix in full FP64 and re-run,
+  // keeping whichever result is better (the FP64 one, barring a genuinely
+  // unstable matrix that fails either way).
+  refactor_fp64();
+  SolveReport rep64 = solve_report_impl(b);
+  observe_refine_steps(rep64.refine_steps);
+  if (report_better(rep64, rep)) rep = std::move(rep64);
+  rep.refactored_fp64 = true;
+  return rep;
+}
+
+SolveReport SparseDirectSolver::solve_report_impl(
     const std::vector<double>& b) const {
   IRRLU_CHECK_MSG(factor_ != nullptr, "solve_report() requires factor()");
   const int n = a_.rows();
@@ -218,6 +282,28 @@ std::vector<double> SparseDirectSolver::solve(
 }
 
 std::vector<SolveReport> SparseDirectSolver::solve_report_many(
+    const std::vector<std::vector<double>>& bs) const {
+  std::vector<SolveReport> reps = solve_report_many_impl(bs);
+  for (const SolveReport& r : reps) observe_refine_steps(r.refine_steps);
+  const bool any_short = std::any_of(
+      reps.begin(), reps.end(),
+      [](const SolveReport& r) { return r.status != SolveStatus::kConverged; });
+  if (!any_short || !opts_.fp64_fallback || !factor_->has_fp32()) return reps;
+  // One FP64 refactor covers the whole batch; every request is re-solved
+  // against the FP64 factors (the converged ones too — the sweep is
+  // batched, so re-running them costs one extra lane each, and the
+  // per-request arbitration below keeps whichever result is better).
+  refactor_fp64();
+  std::vector<SolveReport> reps64 = solve_report_many_impl(bs);
+  for (std::size_t k = 0; k < reps.size(); ++k) {
+    observe_refine_steps(reps64[k].refine_steps);
+    if (report_better(reps64[k], reps[k])) reps[k] = std::move(reps64[k]);
+    reps[k].refactored_fp64 = true;
+  }
+  return reps;
+}
+
+std::vector<SolveReport> SparseDirectSolver::solve_report_many_impl(
     const std::vector<std::vector<double>>& bs) const {
   IRRLU_CHECK_MSG(factor_ != nullptr, "solve_report_many() requires factor()");
   const int n = a_.rows();

@@ -46,6 +46,19 @@ struct SolverOptions {
   /// Run the triangular solves as level-batched device kernels instead of
   /// the host-side reference sweep.
   bool solve_on_device = false;
+  /// Classic LU-IR safety net (DESIGN.md §14): when the factor precision
+  /// policy produced FP32 fronts and a solve cannot reach
+  /// refine_tolerance, transparently refactor the same prepared matrix in
+  /// full FP64 and re-run the solve, keeping the better result per
+  /// request. SolveReport::refactored_fp64 records the escalation. No
+  /// effect on pure-FP64 factorizations.
+  bool fp64_fallback = true;
+  /// Pivot-growth threshold that escalates a mixed-precision
+  /// factorization to FP64 right at factor()/refactor() time: growth of
+  /// this magnitude wipes out FP32's ~2^-24 relative accuracy before
+  /// refinement even starts. Growth is only measured when
+  /// factor.pivot_tau > 0, so the check is inert otherwise.
+  double growth_refactor_threshold = 1e8;
 };
 
 /// Outcome classification of solve_report().
@@ -68,6 +81,10 @@ struct SolveReport {
   SolveStatus status = SolveStatus::kFailed;
   double berr = 0;          ///< componentwise backward error of x
   int refine_steps = 0;     ///< refinement sweeps actually applied
+  /// True when the mixed-precision LU-IR fallback kicked in: the FP32
+  /// factorization could not reach the tolerance and the solver
+  /// refactored in FP64 for this solve (SolverOptions::fp64_fallback).
+  bool refactored_fp64 = false;
   /// Backward error after the initial solve and after every refinement
   /// sweep (including diverged sweeps that were rolled back).
   std::vector<double> berr_history;
@@ -171,18 +188,36 @@ class SparseDirectSolver {
 
  private:
   /// opts_.factor augmented with the solver-owned dispatch cache/plan
-  /// (unless the caller wired their own); arms the plan replay.
-  FactorOptions factor_options();
+  /// (unless the caller wired their own); arms the plan replay. Const
+  /// because the LU-IR fallback re-factors from const solve paths — the
+  /// dispatch state it touches is mutable solver-internal machinery.
+  FactorOptions factor_options() const;
+  /// Factor with the configured policy; escalates to FP64 when the
+  /// mixed-precision factorization's measured pivot growth exceeds
+  /// growth_refactor_threshold (see SolverOptions).
+  void build_factor(gpusim::Device& dev);
+  /// Replaces the current factorization with a full-FP64 one of the same
+  /// prepared matrix (the LU-IR fallback step).
+  void refactor_fp64() const;
+  /// The pre-fallback solve bodies.
+  SolveReport solve_report_impl(const std::vector<double>& b) const;
+  std::vector<SolveReport> solve_report_many_impl(
+      const std::vector<std::vector<double>>& bs) const;
+  /// Feeds the per-policy refine-step histogram
+  /// ("solve.refine_steps.<policy>") when a tracer is attached.
+  void observe_refine_steps(int steps) const;
 
   const SolverOptions opts_;
-  batch::KernelCache kcache_;  ///< interleaved-kernel registry
-  batch::DispatchPlan plan_;   ///< recorded dispatch of this pattern
+  /// Dispatch registry/plan and the factorization are mutable: the LU-IR
+  /// FP64 fallback rebuilds the factor inside const solve calls.
+  mutable batch::KernelCache kcache_;  ///< interleaved-kernel registry
+  mutable batch::DispatchPlan plan_;   ///< recorded dispatch of this pattern
   CsrMatrix a_;        ///< original matrix
   CsrMatrix a_prep_;   ///< scaled, column-permuted, symmetrically permuted
   ordering::Mc64Result mc64_;
   ordering::Ordering ord_;
   SymbolicAnalysis sym_;
-  std::unique_ptr<MultifrontalFactor> factor_;
+  mutable std::unique_ptr<MultifrontalFactor> factor_;
   bool analyzed_ = false;
   bool mc64_active_ = false;  ///< per-analysis state, not a user option
 };

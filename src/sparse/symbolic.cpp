@@ -85,6 +85,21 @@ void finalize(SymbolicAnalysis& sym) {
 
 std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
     MemoryMode mode) const {
+  return predicted_level_peak_bytes(mode, {});
+}
+
+std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
+    MemoryMode mode, const std::vector<Precision>& level_prec) const {
+  // Element width of one level's fronts (and its slice of the factor
+  // store). Empty policy = uniform FP64, which reproduces the original
+  // all-double inventory exactly (size_t arithmetic throughout).
+  auto ebytes = [&](int lvl) {
+    return level_prec.empty() ||
+                   level_prec[static_cast<std::size_t>(lvl)] ==
+                       Precision::kF64
+               ? sizeof(double)
+               : sizeof(float);
+  };
   // Mirrors MultifrontalFactor's constructor allocation inventory for the
   // batched engine's default single-stream configuration (multi-stream
   // runs add one workspace pair per extra stream). Every quantity below is
@@ -103,11 +118,11 @@ std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
   // factor store + pivots, flattened update lists, assembly triples +
   // values (one entry per pattern nonzero), extend-add scatter maps, and
   // the per-stream irrLU workspaces.
-  std::size_t felems = 0, pivots = 0, upd_total = 0, scat_total = 0;
+  std::size_t fstore_bytes = 0, pivots = 0, upd_total = 0, scat_total = 0;
   for (const Front& f : fronts) {
     const auto s = static_cast<std::size_t>(f.s());
     const auto u = static_cast<std::size_t>(f.u());
-    felems += s * s + 2 * s * u;
+    fstore_bytes += (s * s + 2 * s * u) * ebytes(f.level);
     pivots += s;
     upd_total += u;
     if (f.parent >= 0) scat_total += u;
@@ -117,7 +132,7 @@ std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
     max_batch = std::max(max_batch, static_cast<int>(lv.size()));
   const int nb = std::max(1, batch::IrrLuOptions{}.nb);
   const std::size_t base =
-      felems * sizeof(double) + pivots * sizeof(int) +
+      fstore_bytes + pivots * sizeof(int) +
       upd_total * sizeof(int) +
       3 * static_cast<std::size_t>(pattern_nnz) * sizeof(int) +
       static_cast<std::size_t>(pattern_nnz) * sizeof(double) +
@@ -133,7 +148,7 @@ std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
   for (const Front& f : fronts) {
     const auto lvl = static_cast<std::size_t>(f.level);
     front_bytes[lvl] += static_cast<std::size_t>(f.dim()) *
-                        static_cast<std::size_t>(f.dim()) * sizeof(double);
+                        static_cast<std::size_t>(f.dim()) * ebytes(f.level);
     desc_bytes[lvl] += kFrontDescriptorBytes;
   }
   const std::size_t total_front =
@@ -158,7 +173,13 @@ std::vector<std::size_t> SymbolicAnalysis::predicted_level_peak_bytes(
 }
 
 std::size_t SymbolicAnalysis::predicted_peak_bytes(MemoryMode mode) const {
-  const std::vector<std::size_t> per_level = predicted_level_peak_bytes(mode);
+  return predicted_peak_bytes(mode, {});
+}
+
+std::size_t SymbolicAnalysis::predicted_peak_bytes(
+    MemoryMode mode, const std::vector<Precision>& level_prec) const {
+  const std::vector<std::size_t> per_level =
+      predicted_level_peak_bytes(mode, level_prec);
   std::size_t peak = 0;
   for (std::size_t b : per_level) peak = std::max(peak, b);
   return peak;

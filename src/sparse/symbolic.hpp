@@ -11,6 +11,7 @@
 
 #include "ordering/nested_dissection.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/precision.hpp"
 
 namespace irrlu::sparse {
 
@@ -63,6 +64,14 @@ struct SymbolicAnalysis {
   /// Maximum of predicted_level_peak_bytes over all levels — the global
   /// predicted peak, comparable to FactorReport::measured_peak_bytes.
   std::size_t predicted_peak_bytes(MemoryMode mode) const;
+  /// Precision-aware variants: `level_prec[lvl]` is the element precision
+  /// of level lvl's fronts (FP32 levels store and stage at half width).
+  /// An empty vector means all-FP64; the all-FP64 result is identical to
+  /// the two-argument overloads, byte for byte.
+  std::vector<std::size_t> predicted_level_peak_bytes(
+      MemoryMode mode, const std::vector<Precision>& level_prec) const;
+  std::size_t predicted_peak_bytes(
+      MemoryMode mode, const std::vector<Precision>& level_prec) const;
 
   /// Builds the analysis from the permuted matrix's *pattern* (the matrix
   /// must already be in nested-dissection order) and the separator tree.

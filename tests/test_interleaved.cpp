@@ -607,10 +607,10 @@ TEST(ServiceInterleaved, PatternKeyedDispatchReuse) {
   SolverService svc(dev, so);
   const std::vector<double> b(144, 1.0);
 
-  auto r1 = svc.solve({SolveRequest{"t", a1, b}});
+  auto r1 = svc.solve({SolveRequest{"t", a1, b, {}}});
   ASSERT_EQ(r1.size(), 1u);
   EXPECT_TRUE(r1[0].report.ok());
-  auto r2 = svc.solve({SolveRequest{"t", a2, b}});  // cached pattern
+  auto r2 = svc.solve({SolveRequest{"t", a2, b, {}}});  // cached pattern
   ASSERT_EQ(r2.size(), 1u);
   EXPECT_TRUE(r2[0].symbolic_cache_hit);
 

@@ -7,8 +7,11 @@
 // metric and exits nonzero on a regression. The comparison is structural:
 // every numeric leaf of the baseline must exist at the same path in the
 // candidate (a vanished metric is a regression — renames must update the
-// baseline artifact in the same change). Leaves are classified by key
-// name:
+// baseline artifact in the same change). Arrays whose rows all carry a
+// string "name" key (the BENCH_blas classes) are matched by name instead
+// of index, so a candidate may *add* rows — e.g. new precision twins —
+// without tripping the gate, while a vanished row still fails. Leaves
+// are classified by key name:
 //
 //   larger-is-worse   *_ns, *_s (timing medians and totals): candidate
 //                     may exceed baseline by at most the per-metric noise
@@ -126,6 +129,36 @@ void compare(const Value& base, const Value& cand, const std::string& path,
       }
       break;
     case Value::Type::kArray: {
+      // Arrays of rows with a stable string "name" key match by name:
+      // every baseline row must still exist (a vanished row is a
+      // regression, same as a vanished metric), while rows new to the
+      // candidate need no baseline yet — exactly the object-key rule.
+      const auto named = [](const Value& v) {
+        for (const Value& item : v.items) {
+          if (item.type != Value::Type::kObject) return false;
+          const Value* n = item.find("name");
+          if (n == nullptr || n->type != Value::Type::kString) return false;
+        }
+        return !v.items.empty();
+      };
+      if (named(base) && named(cand)) {
+        for (const Value& row : base.items) {
+          const std::string name = row.string_or("name", "");
+          const Value* match = nullptr;
+          for (const Value& c : cand.items)
+            if (c.string_or("name", "") == name) {
+              match = &c;
+              break;
+            }
+          if (match == nullptr) {
+            g.regressions.push_back(path + "[name=" + name +
+                                    "]: missing in candidate");
+            continue;
+          }
+          compare(row, *match, path + "[name=" + name + "]", key, g);
+        }
+        break;
+      }
       if (base.items.size() != cand.items.size()) {
         g.regressions.push_back(path + ": array length " +
                                 std::to_string(base.items.size()) + " -> " +
